@@ -1,0 +1,217 @@
+(* Benchmark and reproduction harness.
+
+   With no arguments, regenerates every table and figure of the paper (plus
+   the ablations) and then runs the Bechamel microbenchmarks.  Individual
+   artifacts: `dune exec bench/main.exe -- table2` etc.; `quick` runs a
+   reduced-size version of everything (CI-friendly). *)
+
+open Stob_experiments
+
+let hr title =
+  Printf.printf
+    "\n============================================================\n%s\n============================================================\n"
+    title
+
+let run_table1 () =
+  hr "Table 1 (E3/E8): defense taxonomy with measured overheads";
+  Table1.print (Table1.run ())
+
+let table2_config ~quick =
+  if quick then { Table2.default_config with samples_per_site = 20; folds = 3; forest_trees = 40 }
+  else Table2.default_config
+
+let run_table2 ~quick () =
+  hr "Table 2 (E1): k-FP accuracy under emulated countermeasures";
+  Table2.print (Table2.run ~config:(table2_config ~quick) ())
+
+let fig3_config ~quick =
+  if quick then { Fig3.default_config with alphas = [ 0; 8; 16; 24; 32; 40 ] }
+  else Fig3.default_config
+
+let run_fig3 ~quick () =
+  hr "Figure 3 (E2): throughput under packet/TSO size adjustment";
+  Fig3.print (Fig3.run ~config:(fig3_config ~quick) ())
+
+let run_fig1 () =
+  hr "Figure 1 (E4): the stack model";
+  Arch.print_figure1 ()
+
+let run_fig2 () =
+  hr "Figure 2 (E5): the Stob architecture";
+  Arch.print_figure2 ()
+
+let run_ablation_stack ~quick () =
+  hr "Ablation E6: emulated vs. in-stack enforcement";
+  let samples_per_site = if quick then 15 else 40 in
+  let trees = if quick then 40 else 100 in
+  Ablation.print_fidelity (Ablation.run_fidelity ~samples_per_site ~trees ())
+
+let run_ablation_cca () =
+  hr "Ablation E7: CCA interplay and safety audit";
+  Ablation.print_cca (Ablation.run_cca ())
+
+let run_ablation_quic ~quick () =
+  hr "Ablation E8b: TCP vs QUIC fingerprintability";
+  let samples_per_site = if quick then 15 else 40 in
+  let trees = if quick then 40 else 100 in
+  Ablation.print_transport (Ablation.run_transport ~samples_per_site ~trees ())
+
+let run_cca_id ~quick () =
+  hr "Extension: CCA identification (Section 5.2)";
+  let flows_per_cca = if quick then 15 else 40 in
+  let trees = if quick then 50 else 100 in
+  Cca_id.print (Cca_id.run ~flows_per_cca ~trees ())
+
+let run_openworld ~quick () =
+  hr "Extension: open-world evaluation (k-FP's native setting)";
+  let samples_per_site = if quick then 12 else 30 in
+  let trees = if quick then 40 else 100 in
+  Openworld.print (Openworld.run ~samples_per_site ~trees ())
+
+let run_httpos ~quick () =
+  hr "Extension: HTTPOS-style client-side defense and its cost (Section 2.3)";
+  let samples_per_site = if quick then 12 else 30 in
+  let trees = if quick then 40 else 100 in
+  Httpos.print (Httpos.run ~samples_per_site ~trees ())
+
+let run_importance ~quick () =
+  hr "Extension: feature importance under defense";
+  let samples_per_site = if quick then 12 else 30 in
+  let trees = if quick then 40 else 100 in
+  Importance.print (Importance.run ~samples_per_site ~trees ())
+
+let run_pareto ~quick () =
+  hr "Extension: Stob policy sweep (protection vs overhead frontier)";
+  let samples_per_site = if quick then 12 else 30 in
+  let trees = if quick then 40 else 100 in
+  Pareto.print (Pareto.run ~samples_per_site ~trees ())
+
+let run_dl ~quick () =
+  hr "Extension: deep-learning vs feature-engineered attacks";
+  let samples_per_site = if quick then 15 else 60 in
+  let epochs = if quick then 10 else 30 in
+  let trees = if quick then 40 else 100 in
+  Dl.print (Dl.run ~samples_per_site ~epochs ~trees ())
+
+let run_early_curve ~quick () =
+  hr "Extension: early-detection curve (censorship setting)";
+  let samples_per_site = if quick then 15 else 60 in
+  let trees = if quick then 40 else 100 in
+  Earlycurve.print (Earlycurve.run ~samples_per_site ~trees ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: one per hot path.                          *)
+
+let microbench_tests () =
+  let open Bechamel in
+  let rng = Stob_util.Rng.create 99 in
+  let trace =
+    (Stob_web.Browser.load ~rng (Stob_web.Sites.find "bing.com")).Stob_web.Browser.trace
+  in
+  let features =
+    Array.init 60 (fun i -> Stob_kfp.Features.extract (Stob_net.Trace.prefix trace (20 + i)))
+  in
+  let labels = Array.init 60 (fun i -> i mod 3) in
+  let t_extract =
+    Test.make ~name:"kfp-extract" (Staged.stage (fun () -> Stob_kfp.Features.extract trace))
+  in
+  let t_forest =
+    Test.make ~name:"forest-train-20"
+      (Staged.stage (fun () ->
+           Stob_ml.Random_forest.train
+             ~params:{ Stob_ml.Random_forest.default_params with n_trees = 20 }
+             ~n_classes:3 ~features ~labels ()))
+  in
+  let t_split =
+    Test.make ~name:"defense-split" (Staged.stage (fun () -> Stob_defense.Emulate.split trace))
+  in
+  let delay_rng = Stob_util.Rng.create 3 in
+  let t_delay =
+    Test.make ~name:"defense-delay"
+      (Staged.stage (fun () -> Stob_defense.Emulate.delay ~rng:delay_rng trace))
+  in
+  let t_engine =
+    Test.make ~name:"engine-10k-events"
+      (Staged.stage (fun () ->
+           let e = Stob_sim.Engine.create () in
+           for i = 1 to 10_000 do
+             ignore (Stob_sim.Engine.schedule e ~delay:(float_of_int i *. 1e-6) (fun () -> ()))
+           done;
+           Stob_sim.Engine.run e))
+  in
+  let load_rng = Stob_util.Rng.create 123 in
+  let t_load =
+    Test.make ~name:"page-load-whatsapp"
+      (Staged.stage (fun () ->
+           ignore (Stob_web.Browser.load ~rng:load_rng (Stob_web.Sites.find "whatsapp.net"))))
+  in
+  [ t_extract; t_forest; t_split; t_delay; t_engine; t_load ]
+
+let run_micro () =
+  hr "Microbenchmarks (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
+  let tests = Test.make_grouped ~name:"stob" ~fmt:"%s/%s" (microbench_tests ()) in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let ns = match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan in
+      Printf.printf "  %-28s %12.1f ns/run\n" name ns)
+    (List.sort compare rows)
+
+let all ~quick () =
+  run_fig1 ();
+  run_fig2 ();
+  run_table1 ();
+  run_fig3 ~quick ();
+  run_ablation_cca ();
+  run_table2 ~quick ();
+  run_ablation_stack ~quick ();
+  run_ablation_quic ~quick ();
+  run_openworld ~quick ();
+  run_cca_id ~quick ();
+  run_httpos ~quick ();
+  run_importance ~quick ();
+  run_early_curve ~quick ();
+  run_dl ~quick ();
+  run_pareto ~quick ();
+  run_micro ()
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] -> all ~quick:false ()
+  | [ _; "quick" ] -> all ~quick:true ()
+  | [ _; "table1" ] -> run_table1 ()
+  | [ _; "table2" ] -> run_table2 ~quick:false ()
+  | [ _; "table2-quick" ] -> run_table2 ~quick:true ()
+  | [ _; "fig1" ] -> run_fig1 ()
+  | [ _; "fig2" ] -> run_fig2 ()
+  | [ _; "fig3" ] -> run_fig3 ~quick:false ()
+  | [ _; "fig3-quick" ] -> run_fig3 ~quick:true ()
+  | [ _; "ablation-stack" ] -> run_ablation_stack ~quick:false ()
+  | [ _; "ablation-cca" ] -> run_ablation_cca ()
+  | [ _; "ablation-quic" ] -> run_ablation_quic ~quick:false ()
+  | [ _; "openworld" ] -> run_openworld ~quick:false ()
+  | [ _; "openworld-quick" ] -> run_openworld ~quick:true ()
+  | [ _; "cca-id" ] -> run_cca_id ~quick:false ()
+  | [ _; "cca-id-quick" ] -> run_cca_id ~quick:true ()
+  | [ _; "httpos" ] -> run_httpos ~quick:false ()
+  | [ _; "httpos-quick" ] -> run_httpos ~quick:true ()
+  | [ _; "importance" ] -> run_importance ~quick:false ()
+  | [ _; "importance-quick" ] -> run_importance ~quick:true ()
+  | [ _; "early-curve" ] -> run_early_curve ~quick:false ()
+  | [ _; "early-curve-quick" ] -> run_early_curve ~quick:true ()
+  | [ _; "dl" ] -> run_dl ~quick:false ()
+  | [ _; "dl-quick" ] -> run_dl ~quick:true ()
+  | [ _; "pareto" ] -> run_pareto ~quick:false ()
+  | [ _; "pareto-quick" ] -> run_pareto ~quick:true ()
+  | [ _; "micro" ] -> run_micro ()
+  | _ ->
+      prerr_endline
+        "usage: main.exe [quick|table1|table2|table2-quick|fig1|fig2|fig3|fig3-quick|ablation-stack|ablation-cca|ablation-quic|openworld|cca-id|httpos|importance|early-curve|dl|pareto|micro]";
+      exit 2

@@ -1,0 +1,267 @@
+(* stobctl: command-line interface to the Stob reproduction.
+
+   Subcommands cover the whole pipeline: dataset generation, the k-FP
+   attack, defenses and overheads, the throughput experiments, and the
+   architecture renderings.  `stobctl <cmd> --help` documents each. *)
+
+open Cmdliner
+open Stob_experiments
+
+(* --- shared options --------------------------------------------------- *)
+
+let seed =
+  let doc = "Seed for all pseudo-randomness (experiments are reproducible)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let samples =
+  let doc = "Page-load samples to generate per site." in
+  Arg.(value & opt int 100 & info [ "samples" ] ~docv:"N" ~doc)
+
+let folds =
+  let doc = "Cross-validation folds." in
+  Arg.(value & opt int 5 & info [ "folds" ] ~docv:"K" ~doc)
+
+let trees =
+  let doc = "Random-forest size." in
+  Arg.(value & opt int 100 & info [ "trees" ] ~docv:"N" ~doc)
+
+let site =
+  let doc = "Monitored site (one of the nine paper sites)." in
+  Arg.(value & opt string "bing.com" & info [ "site" ] ~docv:"SITE" ~doc)
+
+let policy_names = List.map fst (Stob_core.Strategies.all_named ())
+
+let transport_arg =
+  let doc = "Transport: tcp (HTTP/1.1 pool) or quic (HTTP/3 single connection)." in
+  Arg.(value & opt (enum [ ("tcp", `Tcp); ("quic", `Quic) ]) `Tcp & info [ "transport" ] ~doc)
+
+let policy_arg =
+  let doc =
+    Printf.sprintf "Server-side Stob policy: one of %s." (String.concat ", " policy_names)
+  in
+  Arg.(value & opt string "unmodified" & info [ "policy" ] ~docv:"POLICY" ~doc)
+
+let resolve_policy name =
+  match List.assoc_opt name (Stob_core.Strategies.all_named ()) with
+  | Some p -> p
+  | None ->
+      Printf.eprintf "unknown policy %s (try one of: %s)\n" name (String.concat ", " policy_names);
+      exit 2
+
+(* --- gen-dataset ------------------------------------------------------ *)
+
+let gen_dataset out samples seed policy =
+  let policy = resolve_policy policy in
+  Printf.printf "generating %d samples/site for %d sites...\n%!" samples
+    (List.length Stob_web.Sites.all);
+  let dataset =
+    Stob_web.Dataset.generate ~samples_per_site:samples ~seed ~policy
+      ~progress:(fun ~done_ ~total ->
+        if done_ mod 50 = 0 then Printf.printf "  %d/%d visits\n%!" done_ total)
+      ()
+  in
+  let clean = Stob_web.Dataset.sanitize dataset in
+  (try Unix.mkdir out 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let labels = open_out (Filename.concat out "labels.csv") in
+  Array.iteri
+    (fun i s ->
+      let path = Filename.concat out (Printf.sprintf "trace_%04d.csv" i) in
+      Stob_net.Trace.save path s.Stob_web.Dataset.trace;
+      Printf.fprintf labels "trace_%04d.csv,%d,%s\n" i s.Stob_web.Dataset.label
+        s.Stob_web.Dataset.site)
+    clean.Stob_web.Dataset.samples;
+  close_out labels;
+  Printf.printf "wrote %d sanitized traces (+labels.csv) to %s/\n"
+    (Array.length clean.Stob_web.Dataset.samples)
+    out
+
+let gen_dataset_cmd =
+  let out =
+    Arg.(value & opt string "dataset" & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "gen-dataset" ~doc:"Generate and sanitize a page-load trace corpus")
+    Term.(const gen_dataset $ out $ samples $ seed $ policy_arg)
+
+(* --- attack ----------------------------------------------------------- *)
+
+let attack samples folds trees seed policy transport =
+  let policy = resolve_policy policy in
+  Printf.printf "corpus: %d samples/site, policy %s, transport %s\n%!" samples
+    policy.Stob_core.Policy.name
+    (match transport with `Tcp -> "tcp" | `Quic -> "quic");
+  let dataset =
+    Stob_web.Dataset.sanitize
+      (Stob_web.Dataset.generate ~samples_per_site:samples ~seed ~policy ~transport ())
+  in
+  let mean, std = Evalcommon.accuracy_cv ~folds ~trees ~seed dataset in
+  Printf.printf "k-FP closed-world accuracy (%d-fold CV): %.3f +/- %.3f\n" folds mean std
+
+let attack_cmd =
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Run the k-FP closed-world attack against a (possibly defended) corpus")
+    Term.(const attack $ samples $ folds $ trees $ seed $ policy_arg $ transport_arg)
+
+(* --- load ------------------------------------------------------------- *)
+
+(* Unicode sparkline of per-bucket wire bytes for one direction. *)
+let sparkline trace dir ~buckets =
+  let module Trace = Stob_net.Trace in
+  let glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |] in
+  let duration = Float.max 1e-9 (Trace.duration trace) in
+  let acc = Array.make buckets 0.0 in
+  Array.iter
+    (fun e ->
+      if e.Trace.dir = dir then begin
+        let b = min (buckets - 1) (int_of_float (e.Trace.time /. duration *. float_of_int buckets)) in
+        acc.(b) <- acc.(b) +. float_of_int e.Trace.size
+      end)
+    trace;
+  let peak = Array.fold_left Float.max 1.0 acc in
+  String.init buckets (fun i ->
+      let level = int_of_float (acc.(i) /. peak *. 7.0) in
+      glyphs.(max 0 (min 7 level)))
+
+let load_one site seed policy =
+  let policy = resolve_policy policy in
+  let profile =
+    try Stob_web.Sites.find site
+    with Not_found ->
+      Printf.eprintf "unknown site %s (known: %s)\n" site
+        (String.concat ", " Stob_web.Sites.names);
+      exit 2
+  in
+  let rng = Stob_util.Rng.create seed in
+  let r = Stob_web.Browser.load ~policy ~rng profile in
+  Printf.printf "site: %s  policy: %s\n" site policy.Stob_core.Policy.name;
+  Printf.printf "completed: %b  load time: %.3f s  downloaded: %d B (plaintext)\n"
+    r.Stob_web.Browser.completed r.Stob_web.Browser.load_time r.Stob_web.Browser.bytes_downloaded;
+  Format.printf "trace: %a@." Stob_net.Trace.pp_summary r.Stob_web.Browser.trace;
+  let trace = Stob_net.Trace.shift_to_zero r.Stob_web.Browser.trace in
+  Printf.printf "  down |%s|\n" (sparkline trace Stob_net.Packet.Incoming ~buckets:60);
+  Printf.printf "  up   |%s|\n" (sparkline trace Stob_net.Packet.Outgoing ~buckets:60)
+
+let load_cmd =
+  Cmd.v
+    (Cmd.info "load" ~doc:"Run one page load through the simulated stack and summarize its trace")
+    Term.(const load_one $ site $ seed $ policy_arg)
+
+(* --- policies --------------------------------------------------------- *)
+
+let policies () =
+  Printf.printf "built-in Stob policies:\n";
+  List.iter
+    (fun (name, p) -> Format.printf "  %-14s %a@." name Stob_core.Policy.pp p)
+    (Stob_core.Strategies.all_named ())
+
+let policies_cmd =
+  Cmd.v (Cmd.info "policies" ~doc:"List the built-in obfuscation policies")
+    Term.(const policies $ const ())
+
+(* --- experiment wrappers ---------------------------------------------- *)
+
+let table1 () = Table1.print (Table1.run ())
+
+let table1_cmd =
+  Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1 (defense taxonomy + measured overheads)")
+    Term.(const table1 $ const ())
+
+let table2 samples folds trees seed =
+  let config = { Table2.default_config with samples_per_site = samples; folds; forest_trees = trees; seed } in
+  Table2.print (Table2.run ~config ())
+
+let table2_cmd =
+  Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table 2 (k-FP accuracy under countermeasures)")
+    Term.(const table2 $ samples $ folds $ trees $ seed)
+
+let fig3 () = Fig3.print (Fig3.run ())
+
+let fig3_cmd =
+  Cmd.v (Cmd.info "fig3" ~doc:"Reproduce Figure 3 (throughput under packet/TSO adjustment)")
+    Term.(const fig3 $ const ())
+
+let arch () =
+  Arch.print_figure1 ();
+  print_newline ();
+  Arch.print_figure2 ()
+
+let arch_cmd =
+  Cmd.v (Cmd.info "arch" ~doc:"Render Figures 1 and 2 (stack model and Stob architecture)")
+    Term.(const arch $ const ())
+
+let ablation_stack samples trees =
+  Ablation.print_fidelity (Ablation.run_fidelity ~samples_per_site:samples ~trees ())
+
+let ablation_stack_cmd =
+  let samples =
+    Arg.(value & opt int 40 & info [ "samples" ] ~docv:"N" ~doc:"Samples per site.")
+  in
+  Cmd.v (Cmd.info "ablation-stack" ~doc:"E6: emulated vs. in-stack enforcement")
+    Term.(const ablation_stack $ samples $ trees)
+
+let ablation_cca () = Ablation.print_cca (Ablation.run_cca ())
+
+let ablation_quic samples trees =
+  Ablation.print_transport (Ablation.run_transport ~samples_per_site:samples ~trees ())
+
+let ablation_quic_cmd =
+  let samples =
+    Arg.(value & opt int 40 & info [ "samples" ] ~docv:"N" ~doc:"Samples per site.")
+  in
+  Cmd.v (Cmd.info "ablation-quic" ~doc:"E8b: TCP vs QUIC fingerprintability")
+    Term.(const ablation_quic $ samples $ trees)
+
+let ablation_cca_cmd =
+  Cmd.v (Cmd.info "ablation-cca" ~doc:"E7: CCA interplay and the safety audit")
+    Term.(const ablation_cca $ const ())
+
+let openworld samples trees =
+  Openworld.print (Openworld.run ~samples_per_site:samples ~trees ())
+
+let openworld_cmd =
+  let samples =
+    Arg.(value & opt int 30 & info [ "samples" ] ~docv:"N" ~doc:"Samples per monitored site.")
+  in
+  Cmd.v
+    (Cmd.info "openworld" ~doc:"Open-world k-FP evaluation against unseen background sites")
+    Term.(const openworld $ samples $ trees)
+
+let cca_id flows trees =
+  Cca_id.print (Cca_id.run ~flows_per_cca:flows ~trees ())
+
+let cca_id_cmd =
+  let flows = Arg.(value & opt int 40 & info [ "flows" ] ~docv:"N" ~doc:"Flows per CCA.") in
+  Cmd.v (Cmd.info "cca-id" ~doc:"Passive CCA identification and Stob hiding (Section 5.2)")
+    Term.(const cca_id $ flows $ trees)
+
+let httpos samples trees =
+  Httpos.print (Httpos.run ~samples_per_site:samples ~trees ())
+
+let httpos_cmd =
+  let samples =
+    Arg.(value & opt int 30 & info [ "samples" ] ~docv:"N" ~doc:"Samples per site.")
+  in
+  Cmd.v
+    (Cmd.info "httpos" ~doc:"HTTPOS-style client-side defense: protection vs load-time cost")
+    Term.(const httpos $ samples $ trees)
+
+let importance samples trees =
+  Importance.print (Importance.run ~samples_per_site:samples ~trees ())
+
+let importance_cmd =
+  let samples =
+    Arg.(value & opt int 30 & info [ "samples" ] ~docv:"N" ~doc:"Samples per site.")
+  in
+  Cmd.v (Cmd.info "importance" ~doc:"Feature importance before/after defense")
+    Term.(const importance $ samples $ trees)
+
+let main_cmd =
+  let doc = "stack-level traffic obfuscation (Stob) reproduction toolkit" in
+  Cmd.group (Cmd.info "stobctl" ~version:"1.0.0" ~doc)
+    [
+      gen_dataset_cmd; attack_cmd; load_cmd; policies_cmd; table1_cmd; table2_cmd; fig3_cmd;
+      arch_cmd; ablation_stack_cmd; ablation_cca_cmd; ablation_quic_cmd; openworld_cmd;
+      cca_id_cmd; httpos_cmd; importance_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,3 @@
+let () =
+  Stob_experiments.Cca_id.print
+    (Stob_experiments.Cca_id.run ~flows_per_cca:15 ~trees:50 ())

@@ -1,0 +1,1 @@
+examples/cca_interplay.ml: Format List Stob_core Stob_experiments

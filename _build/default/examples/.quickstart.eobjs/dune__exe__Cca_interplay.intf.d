@@ -1,0 +1,1 @@
+examples/cca_interplay.mli:

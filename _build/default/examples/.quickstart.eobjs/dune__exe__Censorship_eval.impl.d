@@ -1,0 +1,1 @@
+examples/censorship_eval.ml: List Printf Stob_defense Stob_experiments Stob_net Stob_util Stob_web

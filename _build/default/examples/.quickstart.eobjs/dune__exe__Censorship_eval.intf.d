@@ -1,0 +1,1 @@
+examples/censorship_eval.mli:

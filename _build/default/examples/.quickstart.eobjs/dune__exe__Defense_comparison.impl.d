@@ -1,0 +1,1 @@
+examples/defense_comparison.ml: Array List Printf Stob_defense Stob_experiments Stob_util Stob_web

@@ -1,0 +1,1 @@
+examples/intermittent_defense.ml: List Printf Stob_core Stob_sim Stob_tcp Stob_util

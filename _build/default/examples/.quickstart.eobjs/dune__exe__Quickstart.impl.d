@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Printf Stob_core Stob_experiments Stob_net Stob_web

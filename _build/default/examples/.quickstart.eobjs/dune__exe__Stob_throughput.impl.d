@@ -1,0 +1,1 @@
+examples/stob_throughput.ml: List Printf Stob_core Stob_experiments

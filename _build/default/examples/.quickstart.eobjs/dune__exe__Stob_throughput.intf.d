@@ -1,0 +1,1 @@
+examples/stob_throughput.mli:

@@ -1,0 +1,45 @@
+(* Protection vs. cost across defense families.
+
+   Applies every implemented defense from the Table 1 registry to the same
+   corpus and reports (a) the k-FP accuracy that survives and (b) the
+   bandwidth/latency overheads — making Section 2.3's argument measurable:
+   padding buys protection with non-work-conserving bandwidth cost, while
+   timing/size manipulation is nearly free.
+
+   Run with: dune exec examples/defense_comparison.exe *)
+
+module Dataset = Stob_web.Dataset
+module Registry = Stob_defense.Registry
+module Overhead = Stob_defense.Overhead
+module Rng = Stob_util.Rng
+
+let () =
+  print_endline "== defense comparison: protection vs. cost ==";
+  print_endline "generating corpus (9 sites x 15 visits)...";
+  let dataset = Dataset.sanitize (Dataset.generate ~samples_per_site:15 ~seed:21 ()) in
+  let baseline = fst (Stob_experiments.Evalcommon.accuracy_cv ~folds:3 ~trees:60 dataset) in
+  Printf.printf "undefended k-FP accuracy: %.3f\n\n" baseline;
+  Printf.printf "%-14s %-10s %-10s %-10s %-10s\n" "defense" "accuracy" "delta" "bw-ovhd" "lat-ovhd";
+  List.iter
+    (fun (entry : Registry.entry) ->
+      match entry.Registry.apply with
+      | None -> ()
+      | Some apply ->
+          let rng = Rng.create 9 in
+          let defended = Dataset.map_traces dataset (fun s -> apply ~rng s.Dataset.trace) in
+          let acc = fst (Stob_experiments.Evalcommon.accuracy_cv ~folds:3 ~trees:60 defended) in
+          let rng2 = Rng.create 9 in
+          let overheads =
+            Array.to_list
+              (Array.map
+                 (fun s ->
+                   Overhead.summarize ~original:s.Dataset.trace
+                     ~defended:(apply ~rng:rng2 s.Dataset.trace))
+                 dataset.Dataset.samples)
+          in
+          let m = Overhead.mean_summary overheads in
+          Printf.printf "%-14s %-10.3f %+-10.3f %+-10.1f%% %+-9.1f%%\n%!" entry.Registry.name acc
+            (acc -. baseline)
+            (m.Overhead.bandwidth *. 100.0)
+            (m.Overhead.latency *. 100.0))
+    Registry.all

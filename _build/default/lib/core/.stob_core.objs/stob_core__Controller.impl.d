@@ -1,0 +1,1 @@
+lib/core/controller.ml: Float List Option Policy Stob_net Stob_tcp Stob_util

@@ -1,0 +1,1 @@
+lib/core/machine.ml: Array Controller Float List Policy Result Stob_tcp Stob_util

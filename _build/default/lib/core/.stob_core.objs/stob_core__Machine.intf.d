@@ -1,0 +1,1 @@
+lib/core/machine.mli: Policy Stob_tcp

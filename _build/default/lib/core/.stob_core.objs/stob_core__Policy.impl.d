@@ -1,0 +1,1 @@
+lib/core/policy.ml: Format List Result Stob_tcp Stob_util String

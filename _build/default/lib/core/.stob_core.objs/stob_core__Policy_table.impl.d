@@ -1,0 +1,1 @@
+lib/core/policy_table.ml: Controller Hashtbl List Option Policy Printf

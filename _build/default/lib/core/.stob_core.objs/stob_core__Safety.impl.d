@@ -1,0 +1,1 @@
+lib/core/safety.ml: Float Stob_tcp

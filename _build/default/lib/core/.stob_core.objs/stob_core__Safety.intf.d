@@ -1,0 +1,1 @@
+lib/core/safety.mli: Stob_tcp

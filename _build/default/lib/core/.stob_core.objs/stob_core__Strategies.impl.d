@@ -1,0 +1,1 @@
+lib/core/strategies.ml: Policy Printf Stob_tcp

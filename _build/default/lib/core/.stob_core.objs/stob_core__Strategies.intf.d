@@ -1,0 +1,1 @@
+lib/core/strategies.mli: Policy Stob_util

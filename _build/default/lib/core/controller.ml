@@ -1,0 +1,118 @@
+module Hooks = Stob_tcp.Hooks
+
+type stats = { segments : int; modified : int; added_delay : float; stood_down : int }
+
+type t = {
+  policy : Policy.t;
+  rng : Stob_util.Rng.t;
+  mutable size_step : int;  (* position in a Cycle_reduction *)
+  mutable tso_step : int;  (* position in a Cycle_tso_reduction *)
+  mutable last_release : float option;
+  mutable segments : int;
+  mutable modified : int;
+  mutable added_delay : float;
+  mutable stood_down : int;
+}
+
+let create ?(seed = 0) policy =
+  (match Policy.validate policy with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Controller.create: invalid policy: " ^ msg));
+  {
+    policy;
+    rng = Stob_util.Rng.create seed;
+    size_step = 0;
+    tso_step = 0;
+    last_release = None;
+    segments = 0;
+    modified = 0;
+    added_delay = 0.0;
+    stood_down = 0;
+  }
+
+let apply_size t ~stack_payload =
+  match t.policy.Policy.size with
+  | Policy.Default_size -> stack_payload
+  | Policy.Fixed_payload n -> min n stack_payload
+  | Policy.Split_above threshold ->
+      let wire = stack_payload + Stob_net.Packet.default_header_bytes in
+      if wire > threshold then (stack_payload + 1) / 2 else stack_payload
+  | Policy.Cycle_reduction { step; max_steps } ->
+      let k = t.size_step in
+      t.size_step <- (if k >= max_steps then 0 else k + 1);
+      max 1 (stack_payload - (step * k))
+  | Policy.Sampled_size h ->
+      min stack_payload (max 1 (int_of_float (Stob_util.Histogram.sample h t.rng)))
+
+let apply_tso t ~stack_tso ~payload =
+  let stack_packets = max 1 (stack_tso / max 1 payload) in
+  match t.policy.Policy.tso with
+  | Policy.Default_tso -> stack_tso
+  | Policy.Fixed_tso_packets n -> min stack_tso (max 1 (min n stack_packets) * payload)
+  | Policy.Single_packet_tso -> min stack_tso payload
+  | Policy.Cycle_tso_reduction { step; max_steps } ->
+      let k = t.tso_step in
+      t.tso_step <- (if k >= max_steps then 0 else k + 1);
+      let packets = max 1 (stack_packets - (step * k)) in
+      min stack_tso (packets * payload)
+
+let apply_timing t ~now ~bytes ~stack_departure =
+  ignore bytes;
+  match t.policy.Policy.timing with
+  | Policy.Default_timing -> stack_departure
+  | Policy.Add_constant d -> stack_departure +. d
+  | Policy.Add_uniform (lo, hi) -> stack_departure +. Stob_util.Rng.uniform t.rng lo hi
+  | Policy.Stretch_gap (lo, hi) -> (
+      (* The first segment has no predecessor: nothing to stretch. *)
+      match t.last_release with
+      | None -> stack_departure
+      | Some last ->
+          let gap = Float.max 0.0 (stack_departure -. last) in
+          stack_departure +. (gap *. Stob_util.Rng.uniform t.rng lo hi))
+  | Policy.Sampled_gap h -> (
+      match t.last_release with
+      | None -> stack_departure
+      | Some last ->
+          let gap = Stob_util.Histogram.sample h t.rng in
+          Float.max stack_departure (last +. gap) |> Float.max now)
+  | Policy.Pace_at rate -> (
+      match t.last_release with
+      | None -> stack_departure
+      | Some last ->
+          let gap = float_of_int (bytes * 8) /. rate in
+          Float.max stack_departure (last +. gap))
+
+let hooks t =
+  {
+    Hooks.on_segment =
+      (fun ~now ~flow:_ ~phase (d : Hooks.decision) ->
+        t.segments <- t.segments + 1;
+        if List.mem phase t.policy.Policy.exempt_phases then begin
+          t.stood_down <- t.stood_down + 1;
+          t.last_release <-
+            Some
+              (Float.max
+                 (Option.value ~default:neg_infinity t.last_release)
+                 d.Hooks.earliest_departure);
+          d
+        end
+        else begin
+          let payload = apply_size t ~stack_payload:d.Hooks.packet_payload in
+          let tso = apply_tso t ~stack_tso:d.Hooks.tso_bytes ~payload in
+          let departure =
+            apply_timing t ~now ~bytes:tso ~stack_departure:d.Hooks.earliest_departure
+          in
+          let result =
+            { Hooks.tso_bytes = tso; packet_payload = payload; earliest_departure = departure }
+          in
+          if result <> d then t.modified <- t.modified + 1;
+          t.added_delay <- t.added_delay +. Float.max 0.0 (departure -. d.Hooks.earliest_departure);
+          t.last_release <- Some (Float.max departure d.Hooks.earliest_departure);
+          result
+        end);
+  }
+
+let stats t =
+  { segments = t.segments; modified = t.modified; added_delay = t.added_delay; stood_down = t.stood_down }
+
+let policy t = t.policy

@@ -1,0 +1,28 @@
+(** The packet-sequence controller: compiles a {!Policy.t} into stack hooks.
+
+    One controller instance serves one flow; it carries the mutable state a
+    policy needs (cycle counters, RNG stream, last release time) and emits a
+    {!Stob_tcp.Hooks.t} the endpoint consults once per segment.  The
+    controller never proposes anything more aggressive than the stack's own
+    decision — and even if a buggy policy did, the endpoint clamps it (see
+    {!Stob_tcp.Hooks.clamp} and {!Safety}). *)
+
+type t
+
+type stats = {
+  segments : int;  (** Segment decisions seen. *)
+  modified : int;  (** Decisions the policy actually changed. *)
+  added_delay : float;  (** Total departure delay added, seconds. *)
+  stood_down : int;  (** Decisions skipped due to an exempt CCA phase. *)
+}
+
+val create : ?seed:int -> Policy.t -> t
+(** Instantiate the policy's per-flow state.  [seed] fixes the random
+    stream used by stochastic rules (default 0). *)
+
+val hooks : t -> Stob_tcp.Hooks.t
+(** The hook to install with {!Stob_tcp.Endpoint.set_hooks} (or pass at
+    endpoint creation). *)
+
+val stats : t -> stats
+val policy : t -> Policy.t

@@ -1,0 +1,96 @@
+module Hooks = Stob_tcp.Hooks
+module Rng = Stob_util.Rng
+
+type transition = { target : int; weight : float }
+
+type state = { name : string; policy : Policy.t; transitions : transition list }
+
+type t = { states : state array; start : int }
+
+let validate t =
+  let n = Array.length t.states in
+  if n = 0 then Error "machine has no states"
+  else if t.start < 0 || t.start >= n then Error "start state out of range"
+  else
+    Array.fold_left
+      (fun acc state ->
+        Result.bind acc (fun () ->
+            Result.bind
+              (List.fold_left
+                 (fun acc tr ->
+                   Result.bind acc (fun () ->
+                       if tr.target < 0 || tr.target >= n then
+                         Error (state.name ^ ": transition target out of range")
+                       else if tr.weight < 0.0 then
+                         Error (state.name ^ ": negative transition weight")
+                       else Ok ()))
+                 (Ok ()) state.transitions)
+              (fun () ->
+                Result.map_error (fun e -> state.name ^ ": " ^ e) (Policy.validate state.policy))))
+      (Ok ()) t.states
+
+type controller = {
+  machine : t;
+  rng : Rng.t;
+  per_state : Controller.t array;  (* one policy controller per state *)
+  counts : int array;
+  mutable current : int;
+}
+
+let create ?(seed = 0) machine =
+  (match validate machine with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Machine.create: " ^ e));
+  {
+    machine;
+    rng = Rng.create seed;
+    per_state =
+      Array.mapi (fun i s -> Controller.create ~seed:(seed + (31 * (i + 1))) s.policy) machine.states;
+    counts = Array.make (Array.length machine.states) 0;
+    current = machine.start;
+  }
+
+let step_transitions c =
+  let state = c.machine.states.(c.current) in
+  match state.transitions with
+  | [] -> ()
+  | transitions ->
+      let total = List.fold_left (fun acc tr -> acc +. tr.weight) 0.0 transitions in
+      (* Remaining probability mass = stay in place. *)
+      let stay = Float.max 0.0 (1.0 -. total) in
+      let target = Rng.float c.rng (total +. stay) in
+      let rec pick acc = function
+        | [] -> c.current  (* fell into the stay mass *)
+        | tr :: rest -> if target < acc +. tr.weight then tr.target else pick (acc +. tr.weight) rest
+      in
+      c.current <- pick 0.0 transitions
+
+let hooks c =
+  {
+    Hooks.on_segment =
+      (fun ~now ~flow ~phase d ->
+        c.counts.(c.current) <- c.counts.(c.current) + 1;
+        let inner = Controller.hooks c.per_state.(c.current) in
+        let result = inner.Hooks.on_segment ~now ~flow ~phase d in
+        step_transitions c;
+        result);
+  }
+
+let current_state c = c.machine.states.(c.current).name
+
+let segments_in_state c =
+  Array.to_list (Array.mapi (fun i s -> (s.name, c.counts.(i))) c.machine.states)
+
+let intermittent ~on ?(p_enter = 0.1) ?(p_exit = 0.2) () =
+  {
+    states =
+      [|
+        {
+          name = "idle";
+          policy = Policy.unmodified;
+          transitions = [ { target = 1; weight = p_enter } ];
+        };
+        { name = "obfuscate"; policy = on; transitions = [ { target = 0; weight = p_exit } ] };
+      |];
+    start = 0;
+  }

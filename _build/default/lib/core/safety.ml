@@ -1,0 +1,34 @@
+module Hooks = Stob_tcp.Hooks
+
+let is_safe ~stack (d : Hooks.decision) =
+  d.Hooks.tso_bytes <= stack.Hooks.tso_bytes
+  && d.Hooks.packet_payload <= stack.Hooks.packet_payload
+  && d.Hooks.earliest_departure >= stack.Hooks.earliest_departure
+
+type report = { decisions : int; violations : int; max_rate_ratio : float }
+
+(* Implied instantaneous sending rate of a decision: segment bytes over the
+   time from now until it has fully departed.  A proposal with a higher
+   implied rate than the stack's is trying to out-run the CCA. *)
+let implied_rate ~now (d : Hooks.decision) =
+  let horizon = Float.max 1e-9 (d.Hooks.earliest_departure -. now +. 1e-9) in
+  float_of_int d.Hooks.tso_bytes /. horizon
+
+let audit hooks =
+  let decisions = ref 0 and violations = ref 0 and max_ratio = ref 1.0 in
+  let wrapped =
+    {
+      Hooks.on_segment =
+        (fun ~now ~flow ~phase stack ->
+          incr decisions;
+          let proposed = hooks.Hooks.on_segment ~now ~flow ~phase stack in
+          if not (is_safe ~stack proposed) then begin
+            incr violations;
+            let ratio = implied_rate ~now proposed /. implied_rate ~now stack in
+            if ratio > !max_ratio then max_ratio := ratio
+          end;
+          Hooks.clamp ~stack proposed);
+    }
+  in
+  ( wrapped,
+    fun () -> { decisions = !decisions; violations = !violations; max_rate_ratio = !max_ratio } )

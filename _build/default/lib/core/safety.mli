@@ -1,0 +1,23 @@
+(** Safety auditing for obfuscation policies.
+
+    Section 4.2: "Stob must ensure that it does not generate more aggressive
+    traffic to the network (e.g., higher pacing rate than what CCA
+    desired)."  The endpoint already clamps every hook answer; this module
+    makes the invariant observable: {!is_safe} is the predicate itself, and
+    {!audit} wraps a hook to count how often a policy {e proposed} something
+    the clamp had to correct — a well-behaved policy audits clean. *)
+
+val is_safe : stack:Stob_tcp.Hooks.decision -> Stob_tcp.Hooks.decision -> bool
+(** No larger segment, no larger packets, no earlier departure. *)
+
+type report = {
+  decisions : int;  (** Hook invocations audited. *)
+  violations : int;  (** Proposals the clamp had to correct. *)
+  max_rate_ratio : float;
+      (** Worst-case ratio of proposed implied sending rate to the stack's
+          implied rate (> 1 would mean the policy tried to send faster). *)
+}
+
+val audit : Stob_tcp.Hooks.t -> Stob_tcp.Hooks.t * (unit -> report)
+(** [audit hooks] is a wrapped hook enforcing the clamp itself, plus a
+    report thunk.  Install the wrapped hook; read the report after a run. *)

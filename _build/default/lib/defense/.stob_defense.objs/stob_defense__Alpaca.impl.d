@@ -1,0 +1,1 @@
+lib/defense/alpaca.ml: Array Float List Stob_net

@@ -1,0 +1,1 @@
+lib/defense/alpaca.mli: Stob_net

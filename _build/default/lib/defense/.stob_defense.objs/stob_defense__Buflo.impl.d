@@ -1,0 +1,1 @@
+lib/defense/buflo.ml: Array Stob_net

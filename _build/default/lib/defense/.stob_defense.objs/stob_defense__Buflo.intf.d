@@ -1,0 +1,1 @@
+lib/defense/buflo.mli: Stob_net

@@ -1,0 +1,1 @@
+lib/defense/cactus.ml: Array Hashtbl Stob_net Stob_util

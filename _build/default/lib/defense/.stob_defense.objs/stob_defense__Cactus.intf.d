@@ -1,0 +1,1 @@
+lib/defense/cactus.mli: Stob_net Stob_util

@@ -1,0 +1,1 @@
+lib/defense/emulate.ml: Array List Option Stob_net Stob_util

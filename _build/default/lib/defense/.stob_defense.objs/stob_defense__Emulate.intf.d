@@ -1,0 +1,1 @@
+lib/defense/emulate.mli: Stob_net Stob_util

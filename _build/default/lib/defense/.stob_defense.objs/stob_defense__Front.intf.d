@@ -1,0 +1,1 @@
+lib/defense/front.mli: Stob_net Stob_util

@@ -1,0 +1,1 @@
+lib/defense/morphing.mli: Stob_net Stob_util

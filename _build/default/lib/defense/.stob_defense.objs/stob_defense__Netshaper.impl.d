@@ -1,0 +1,1 @@
+lib/defense/netshaper.ml: Array Float List Stob_net Stob_util

@@ -1,0 +1,1 @@
+lib/defense/netshaper.mli: Stob_net Stob_util

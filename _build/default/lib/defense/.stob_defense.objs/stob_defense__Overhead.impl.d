@@ -1,0 +1,1 @@
+lib/defense/overhead.ml: Format List Stob_net

@@ -1,0 +1,1 @@
+lib/defense/overhead.mli: Format Stob_net

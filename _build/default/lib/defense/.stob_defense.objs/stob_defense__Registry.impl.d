@@ -1,0 +1,1 @@
+lib/defense/registry.ml: Alpaca Buflo Cactus Emulate Front List Morphing Netshaper Regulator Stob_net Stob_util Surakav Tamaraw Wtfpad

@@ -1,0 +1,1 @@
+lib/defense/registry.mli: Stob_net Stob_util

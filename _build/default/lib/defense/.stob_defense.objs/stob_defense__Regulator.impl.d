@@ -1,0 +1,1 @@
+lib/defense/regulator.ml: Array Float List Stob_net

@@ -1,0 +1,1 @@
+lib/defense/regulator.mli: Stob_net

@@ -1,0 +1,1 @@
+lib/defense/surakav.ml: Array List Stob_net Stob_util

@@ -1,0 +1,1 @@
+lib/defense/surakav.mli: Stob_net Stob_util

@@ -1,0 +1,1 @@
+lib/defense/tamaraw.ml: Array Stob_net

@@ -1,0 +1,1 @@
+lib/defense/tamaraw.mli: Stob_net

@@ -1,0 +1,1 @@
+lib/defense/wtfpad.mli: Stob_net Stob_util

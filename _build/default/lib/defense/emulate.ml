@@ -1,0 +1,38 @@
+module Trace = Stob_net.Trace
+module Packet = Stob_net.Packet
+module Rng = Stob_util.Rng
+
+let split ?(threshold = 1200) ?first_n trace =
+  let bound = Option.value ~default:(Trace.length trace) first_n in
+  let out = ref [] in
+  Array.iteri
+    (fun i (e : Trace.event) ->
+      if i < bound && e.Trace.dir = Packet.Incoming && e.Trace.size > threshold then begin
+        let first = e.Trace.size / 2 in
+        let second = e.Trace.size - first in
+        (* The second half leaves immediately after the first; a negligible
+           offset keeps the trace strictly ordered without shifting later
+           packets (the paper treats the split as instantaneous). *)
+        out := { e with Trace.size = second; time = e.Trace.time +. 1e-7 } :: { e with Trace.size = first } :: !out
+      end
+      else out := e :: !out)
+    trace;
+  Trace.sort (Array.of_list (List.rev !out))
+
+let delay ?(lo = 0.1) ?(hi = 0.3) ?first_n ~rng trace =
+  let bound = Option.value ~default:(Trace.length trace) first_n in
+  let offset = ref 0.0 in
+  let shifted =
+    Array.mapi
+      (fun i (e : Trace.event) ->
+        if i < bound && i > 0 && e.Trace.dir = Packet.Incoming then begin
+          let gap = e.Trace.time -. trace.(i - 1).Trace.time in
+          offset := !offset +. (gap *. Rng.uniform rng lo hi)
+        end;
+        { e with Trace.time = e.Trace.time +. !offset })
+      trace
+  in
+  Trace.sort shifted
+
+let combined ?threshold ?lo ?hi ?first_n ~rng trace =
+  delay ?lo ?hi ?first_n ~rng (split ?threshold ?first_n trace)

@@ -1,0 +1,34 @@
+module Trace = Stob_net.Trace
+module Packet = Stob_net.Packet
+module Rng = Stob_util.Rng
+module Histogram = Stob_util.Histogram
+
+type params = { target : Stob_util.Histogram.t }
+
+let default_params =
+  (* Bimodal small-packet target: lots of 100-400 B, some 600-900 B. *)
+  let samples =
+    Array.init 400 (fun i -> if i mod 4 = 0 then 600.0 +. float_of_int (i mod 300) else 100.0 +. float_of_int (i mod 300))
+  in
+  { target = Histogram.of_samples ~lo:80.0 ~hi:1000.0 ~bins:32 samples }
+
+let apply ?(params = default_params) ~rng trace =
+  let out = ref [] in
+  Array.iter
+    (fun (e : Trace.event) ->
+      if e.Trace.dir <> Packet.Incoming then out := e :: !out
+      else begin
+        (* Cover the real bytes with draws from the target distribution;
+           the final draw's excess is padding. *)
+        let remaining = ref e.Trace.size in
+        let k = ref 0 in
+        while !remaining > 0 do
+          let size = max 80 (int_of_float (Histogram.sample params.target rng)) in
+          out :=
+            { e with Trace.size; time = e.Trace.time +. (float_of_int !k *. 5e-5) } :: !out;
+          remaining := !remaining - size;
+          incr k
+        done
+      end)
+    trace;
+  Trace.concat_sorted [ Array.of_list (List.rev !out) ]

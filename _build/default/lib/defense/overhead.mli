@@ -1,0 +1,27 @@
+(** Defense cost metrics.
+
+    Section 2.3 argues that padding is the costliest primitive (it burns
+    bandwidth non-work-conservingly — FRONT ~80 %, QCSD ~309 % overhead),
+    timing manipulation wastes nothing (it is work-conserving), and size
+    modification costs only extra headers.  These metrics make that
+    comparison measurable for any trace transformation. *)
+
+val bandwidth_overhead : original:Stob_net.Trace.t -> defended:Stob_net.Trace.t -> float
+(** Extra wire bytes relative to the original: (defended - original) /
+    original.  0.8 means "+80 %". *)
+
+val latency_overhead : original:Stob_net.Trace.t -> defended:Stob_net.Trace.t -> float
+(** Extra trace duration relative to the original. *)
+
+val packet_overhead : original:Stob_net.Trace.t -> defended:Stob_net.Trace.t -> float
+(** Extra packets relative to the original (header-cost proxy for size
+    modification). *)
+
+type summary = { bandwidth : float; latency : float; packets : float }
+
+val summarize : original:Stob_net.Trace.t -> defended:Stob_net.Trace.t -> summary
+
+val mean_summary : summary list -> summary
+(** Component-wise mean over a corpus. *)
+
+val pp : Format.formatter -> summary -> unit

@@ -1,0 +1,29 @@
+module Trace = Stob_net.Trace
+module Packet = Stob_net.Packet
+
+type params = {
+  packet_size : int;
+  interval_out : float;
+  interval_in : float;
+  pad_multiple : int;
+}
+
+let default_params =
+  { packet_size = 1500; interval_out = 0.04; interval_in = 0.012; pad_multiple = 100 }
+
+let stream params dir ~interval bytes =
+  let needed = (bytes + params.packet_size - 1) / params.packet_size in
+  let l = max 1 params.pad_multiple in
+  let n = max l ((needed + l - 1) / l * l) in
+  Array.init n (fun i -> { Trace.time = float_of_int i *. interval; dir; size = params.packet_size })
+
+let apply ?(params = default_params) trace =
+  let out =
+    stream params Packet.Outgoing ~interval:params.interval_out
+      (Trace.bytes ~dir:Packet.Outgoing trace)
+  in
+  let inc =
+    stream params Packet.Incoming ~interval:params.interval_in
+      (Trace.bytes ~dir:Packet.Incoming trace)
+  in
+  Trace.concat_sorted [ out; inc ]

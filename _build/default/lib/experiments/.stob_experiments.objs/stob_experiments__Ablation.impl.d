@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Evalcommon List Printf Stob_core Stob_defense Stob_sim Stob_tcp Stob_util Stob_web

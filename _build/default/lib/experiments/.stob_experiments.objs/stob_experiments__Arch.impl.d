@@ -1,0 +1,1 @@
+lib/experiments/arch.ml: Buffer Format List Printf Stob_core Stob_tcp String

@@ -1,0 +1,1 @@
+lib/experiments/cca_id.ml: Array List Option Printf Stob_core Stob_kfp Stob_ml Stob_net Stob_sim Stob_tcp Stob_util

@@ -1,0 +1,1 @@
+lib/experiments/cca_id.mli:

@@ -1,0 +1,1 @@
+lib/experiments/dl.ml: Array List Printf Stob_defense Stob_kfp Stob_ml Stob_nn Stob_util Stob_web

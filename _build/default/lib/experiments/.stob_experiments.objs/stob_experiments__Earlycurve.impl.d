@@ -1,0 +1,1 @@
+lib/experiments/earlycurve.ml: Evalcommon List Printf Stob_defense Stob_net Stob_util Stob_web

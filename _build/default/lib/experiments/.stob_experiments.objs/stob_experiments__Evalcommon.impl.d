@@ -1,0 +1,1 @@
+lib/experiments/evalcommon.ml: Array Hashtbl List Stob_kfp Stob_ml Stob_util Stob_web

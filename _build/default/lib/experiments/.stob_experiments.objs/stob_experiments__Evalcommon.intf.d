@@ -1,0 +1,1 @@
+lib/experiments/evalcommon.mli: Stob_web

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: List Printf Stob_core Stob_sim Stob_tcp Stob_util

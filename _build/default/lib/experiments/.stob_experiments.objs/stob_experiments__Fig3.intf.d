@@ -1,0 +1,1 @@
+lib/experiments/fig3.mli: Stob_core Stob_tcp

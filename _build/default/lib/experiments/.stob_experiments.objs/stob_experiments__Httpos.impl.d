@@ -1,0 +1,1 @@
+lib/experiments/httpos.ml: Array Evalcommon Float List Printf Stob_tcp Stob_util Stob_web

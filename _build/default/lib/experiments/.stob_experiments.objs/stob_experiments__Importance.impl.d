@@ -1,0 +1,1 @@
+lib/experiments/importance.ml: Array List Printf Stob_core Stob_kfp Stob_ml Stob_web

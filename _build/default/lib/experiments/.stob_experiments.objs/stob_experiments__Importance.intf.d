@@ -1,0 +1,1 @@
+lib/experiments/importance.mli: Stob_core

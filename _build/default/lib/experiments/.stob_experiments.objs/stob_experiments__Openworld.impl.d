@@ -1,0 +1,1 @@
+lib/experiments/openworld.ml: Array Printf Stob_core Stob_kfp Stob_ml Stob_util Stob_web

@@ -1,0 +1,1 @@
+lib/experiments/pareto.ml: Array Evalcommon List Printf Stob_core Stob_defense Stob_util Stob_web

@@ -1,0 +1,1 @@
+lib/experiments/pareto.mli: Stob_core

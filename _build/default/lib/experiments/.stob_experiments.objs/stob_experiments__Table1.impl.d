@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: List Option Printf Stob_defense Stob_util Stob_web String

@@ -1,0 +1,1 @@
+lib/experiments/table1.mli: Stob_defense Stob_net

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Array Hashtbl List Printf Stob_defense Stob_kfp Stob_ml Stob_net Stob_util Stob_web String

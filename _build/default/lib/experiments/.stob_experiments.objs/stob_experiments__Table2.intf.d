@@ -1,0 +1,1 @@
+lib/experiments/table2.mli: Stob_web

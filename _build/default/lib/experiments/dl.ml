@@ -1,0 +1,61 @@
+module Rng = Stob_util.Rng
+module Dataset = Stob_web.Dataset
+module Features = Stob_kfp.Features
+module Attack = Stob_kfp.Attack
+module Dfnet = Stob_kfp.Dfnet
+
+type row = { attack : string; original : float; defended : float }
+
+let evaluate ~trees ~epochs ~seed ~quiet dataset =
+  let say fmt = Printf.ksprintf (fun s -> if not quiet then Printf.eprintf "%s\n%!" s) fmt in
+  let rng = Rng.create (seed + 11) in
+  let train, test = Dataset.split dataset ~rng ~train_fraction:0.7 in
+  let labels d = Array.map (fun (s : Dataset.sample) -> s.Dataset.label) d.Dataset.samples in
+  let n_classes = Array.length dataset.Dataset.site_names in
+  (* k-FP *)
+  say "dl: training k-FP...";
+  let feats d = Array.map (fun s -> Features.extract s.Dataset.trace) d.Dataset.samples in
+  let kfp =
+    Attack.train
+      ~forest:{ Stob_ml.Random_forest.default_params with n_trees = trees; seed }
+      ~n_classes ~features:(feats train) ~labels:(labels train) ()
+  in
+  let kfp_acc =
+    Attack.evaluate kfp ~mode:Attack.Forest_vote ~features:(feats test) ~labels:(labels test)
+  in
+  (* DF-lite *)
+  say "dl: training DF-lite CNN (%d epochs)..." epochs;
+  let encode d = Array.map (fun (s : Dataset.sample) -> Dfnet.encode s.Dataset.trace) d.Dataset.samples in
+  let net =
+    Dfnet.train ~epochs ~seed ~n_classes ~xs:(encode train) ~labels:(labels train)
+      ~on_epoch:(fun p ->
+        if (not quiet) && p.Stob_nn.Network.epoch mod 10 = 0 then
+          Printf.eprintf "dl:   epoch %d, loss %.3f\n%!" p.Stob_nn.Network.epoch
+            p.Stob_nn.Network.mean_loss)
+      ()
+  in
+  let df_acc = Dfnet.accuracy net ~xs:(encode test) ~labels:(labels test) in
+  (kfp_acc, df_acc)
+
+let run ?(samples_per_site = 60) ?(trees = 100) ?(epochs = 30) ?(seed = 42) ?(quiet = false) () =
+  let say fmt = Printf.ksprintf (fun s -> if not quiet then Printf.eprintf "%s\n%!" s) fmt in
+  say "dl: generating corpus...";
+  let base = Dataset.sanitize (Dataset.generate ~samples_per_site ~seed ()) in
+  let rng = Rng.create (seed + 13) in
+  let defended =
+    Dataset.map_traces base (fun s -> Stob_defense.Emulate.combined ~rng s.Dataset.trace)
+  in
+  let kfp_o, df_o = evaluate ~trees ~epochs ~seed ~quiet base in
+  say "dl: evaluating on the defended corpus...";
+  let kfp_d, df_d = evaluate ~trees ~epochs ~seed ~quiet defended in
+  [
+    { attack = "k-FP (forest, features)"; original = kfp_o; defended = kfp_d };
+    { attack = "DF-lite (CNN, directions)"; original = df_o; defended = df_d };
+  ]
+
+let print rows =
+  Printf.printf "Attack family comparison (closed world, 9 sites)\n";
+  Printf.printf "  %-28s %-10s %-18s\n" "attack" "original" "split+delay";
+  List.iter
+    (fun r -> Printf.printf "  %-28s %-10.3f %-18.3f\n" r.attack r.original r.defended)
+    rows

@@ -1,0 +1,25 @@
+(** Extension experiment: deep-learning vs. feature-engineered WF attacks.
+
+    The paper's motivation is that DL attacks (Deep Fingerprinting,
+    Var-CNN) made WF practical.  This harness runs both attack families on
+    the same corpora: k-FP (random forest over ~165 engineered features)
+    and DF-lite (a CNN over raw packet directions, {!Stob_kfp.Dfnet}),
+    undefended and under the Stob combined (split+delay) policy.
+
+    Notably, packet splitting changes the {e direction sequence} that DF
+    consumes (more incoming packets) while delaying does not — so the two
+    attack families respond differently to the same defense. *)
+
+type row = { attack : string; original : float; defended : float }
+
+val run :
+  ?samples_per_site:int ->
+  ?trees:int ->
+  ?epochs:int ->
+  ?seed:int ->
+  ?quiet:bool ->
+  unit ->
+  row list
+(** Defaults: 60 visits/site (70/30 split), 100 trees, 30 epochs. *)
+
+val print : row list -> unit

@@ -1,0 +1,53 @@
+module Rng = Stob_util.Rng
+module Trace = Stob_net.Trace
+module Dataset = Stob_web.Dataset
+module Emulate = Stob_defense.Emulate
+
+type point = { n : int; original : float; defended : float }
+
+type result = { points : point list; crossover_packets : int option; threshold : float }
+
+let run ?(samples_per_site = 60) ?(trees = 100) ?(folds = 3) ?(seed = 42)
+    ?(ns = [ 10; 20; 30; 40; 50; 60; 70; 80 ]) ?(threshold = 0.8) ?(quiet = false) () =
+  let say fmt = Printf.ksprintf (fun s -> if not quiet then Printf.eprintf "%s\n%!" s) fmt in
+  say "early-curve: generating corpus...";
+  let base = Dataset.sanitize (Dataset.generate ~samples_per_site ~seed ()) in
+  let accuracy_at ~defend n =
+    let rng = Rng.create (seed + n) in
+    let view (s : Dataset.sample) =
+      let trace =
+        if defend then Emulate.combined ~first_n:n ~rng s.Dataset.trace else s.Dataset.trace
+      in
+      Trace.prefix trace n
+    in
+    fst (Evalcommon.accuracy_cv ~folds ~trees ~seed (Dataset.map_traces base view))
+  in
+  let points =
+    List.map
+      (fun n ->
+        say "early-curve: N=%d..." n;
+        { n; original = accuracy_at ~defend:false n; defended = accuracy_at ~defend:true n })
+      ns
+  in
+  let crossover_packets =
+    List.find_map
+      (fun p -> if p.original >= threshold && p.defended < threshold then Some p.n else None)
+      points
+  in
+  { points; crossover_packets; threshold }
+
+let print r =
+  Printf.printf "Early-detection curve: k-FP accuracy vs. packets observed\n";
+  Printf.printf "  %-6s %-10s %-10s\n" "N" "original" "defended";
+  List.iter
+    (fun p -> Printf.printf "  %-6d %-10.3f %-10.3f\n" p.n p.original p.defended)
+    r.points;
+  (match r.crossover_packets with
+  | Some n ->
+      Printf.printf
+        "  at N=%d the undefended attack clears %.0f%% accuracy while the defended one\n\
+        \  does not: the countermeasure delays a confident blocking decision.\n"
+        n (r.threshold *. 100.0)
+  | None ->
+      Printf.printf "  (no crossover at the %.0f%% threshold in this range)\n"
+        (r.threshold *. 100.0))

@@ -1,0 +1,6 @@
+(** Shared evaluation helper: cross-validated k-FP accuracy on a dataset. *)
+
+val accuracy_cv :
+  ?folds:int -> ?trees:int -> ?seed:int -> Stob_web.Dataset.t -> float * float
+(** Stratified CV accuracy (mean, sample std) of the forest-vote attack on
+    full traces.  Defaults: 5 folds, 100 trees, seed 42. *)

@@ -1,0 +1,95 @@
+module Engine = Stob_sim.Engine
+module Cpu = Stob_sim.Cpu
+module Units = Stob_util.Units
+module Endpoint = Stob_tcp.Endpoint
+module Connection = Stob_tcp.Connection
+module Path = Stob_tcp.Path
+
+type point = {
+  alpha : int;
+  baseline_gbps : float;
+  packet_gbps : float;
+  tso_gbps : float;
+  combined_gbps : float;
+}
+
+type config = {
+  alphas : int list;
+  link_gbps : float;
+  rtt : float;
+  warmup : float;
+  measure : float;
+  cc : Stob_tcp.Cc.factory;
+}
+
+let default_config =
+  {
+    alphas = [ 0; 4; 8; 12; 16; 20; 24; 28; 32; 36; 40 ];
+    link_gbps = 100.0;
+    rtt = 50e-6;
+    warmup = 0.05;
+    measure = 0.15;
+    cc = Stob_tcp.Cubic.make;
+  }
+
+let throughput_with_policy ~config ~policy =
+  let engine = Engine.create () in
+  let path =
+    Path.create ~engine ~rate_bps:(Units.gbps config.link_gbps) ~delay:(config.rtt /. 2.0) ()
+  in
+  let cpu = Cpu.create engine in
+  let hooks = Stob_core.Controller.hooks (Stob_core.Controller.create policy) in
+  let conn =
+    Connection.create ~engine ~path ~flow:1 ~cc:config.cc
+      ~server_cpu:(cpu, Stob_tcp.Cpu_costs.default_server) ~server_hooks:hooks ()
+  in
+  let server = Connection.server conn in
+  (* iperf3-style bulk source: keep the send queue topped up for the whole
+     run via a periodic refill. *)
+  let rec refill () =
+    if Endpoint.established server && Endpoint.unsent server < 16_000_000 then
+      Endpoint.write server 64_000_000;
+    ignore (Engine.schedule engine ~delay:0.002 refill)
+  in
+  ignore (Engine.schedule engine ~delay:0.0 refill);
+  Connection.on_established conn (fun () -> Endpoint.write (Connection.client conn) 64);
+  Connection.open_ conn;
+  let mark = ref 0 in
+  ignore (Engine.schedule engine ~delay:config.warmup (fun () -> mark := Path.server_link_bytes path));
+  Engine.run ~until:(config.warmup +. config.measure) engine;
+  let bytes = Path.server_link_bytes path - !mark in
+  Units.throughput_bps ~bytes ~seconds:config.measure
+
+let run ?(config = default_config) () =
+  let baseline = throughput_with_policy ~config ~policy:Stob_core.Policy.unmodified in
+  List.map
+    (fun alpha ->
+      let measure policy = Units.to_gbps ~bits_per_sec:(throughput_with_policy ~config ~policy) in
+      {
+        alpha;
+        baseline_gbps = Units.to_gbps ~bits_per_sec:baseline;
+        packet_gbps =
+          (if alpha = 0 then Units.to_gbps ~bits_per_sec:baseline
+           else measure (Stob_core.Strategies.incremental_packet_reduction ~alpha));
+        tso_gbps =
+          (if alpha = 0 then Units.to_gbps ~bits_per_sec:baseline
+           else measure (Stob_core.Strategies.incremental_tso_reduction ~alpha));
+        combined_gbps =
+          (if alpha = 0 then Units.to_gbps ~bits_per_sec:baseline
+           else measure (Stob_core.Strategies.incremental_combined ~alpha));
+      })
+    config.alphas
+
+let print points =
+  Printf.printf
+    "Figure 3: throughput vs. maximum reduction degree (100 Gb/s link, one core)\n";
+  Printf.printf "%-7s %-14s %-14s %-14s %-14s\n" "alpha" "baseline" "packet-size" "tso-size"
+    "combined";
+  List.iter
+    (fun p ->
+      Printf.printf "%-7d %-14s %-14s %-14s %-14s\n" p.alpha
+        (Printf.sprintf "%.1f Gb/s" p.baseline_gbps)
+        (Printf.sprintf "%.1f Gb/s" p.packet_gbps)
+        (Printf.sprintf "%.1f Gb/s" p.tso_gbps)
+        (Printf.sprintf "%.1f Gb/s" p.combined_gbps))
+    points

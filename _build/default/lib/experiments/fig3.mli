@@ -1,0 +1,40 @@
+(** Experiment E2: reproduce Figure 3 — single-connection throughput under
+    packet-size and TSO-size adjustment.
+
+    A bulk transfer runs over a simulated 100 Gb/s link (50 us RTT) with the
+    calibrated single-core CPU cost model; Stob's incremental-reduction
+    strategy shrinks packet size (by alpha per segment, cycling) and/or TSO
+    size (by alpha/4 packets per segment, cycling).  Steady-state goodput is
+    measured after a warm-up, for each maximum-reduction degree alpha on
+    the horizontal axis. *)
+
+type point = {
+  alpha : int;
+  baseline_gbps : float;  (** Unmodified stack (alpha-independent control). *)
+  packet_gbps : float;  (** Packet-size adjustment only. *)
+  tso_gbps : float;  (** TSO-size adjustment only. *)
+  combined_gbps : float;  (** Both adjustments. *)
+}
+
+type config = {
+  alphas : int list;
+  link_gbps : float;
+  rtt : float;
+  warmup : float;
+  measure : float;
+  cc : Stob_tcp.Cc.factory;
+}
+
+val default_config : config
+(** alphas 0..40 step 4, 100 Gb/s, 50 us RTT, 50 ms warm-up, 150 ms
+    measurement, CUBIC. *)
+
+val throughput_with_policy : config:config -> policy:Stob_core.Policy.t -> float
+(** Measured steady-state goodput (bits/s) of one bulk transfer under the
+    given server-side policy. *)
+
+val run : ?config:config -> unit -> point list
+
+val print : point list -> unit
+(** Render the two (plus combined) series as aligned columns — the data
+    behind the figure. *)

@@ -1,0 +1,85 @@
+module Rng = Stob_util.Rng
+module Dataset = Stob_web.Dataset
+module Emulate = Stob_defense.Emulate
+module Overhead = Stob_defense.Overhead
+
+type point = {
+  policy : Stob_core.Policy.t;
+  accuracy : float;
+  latency_overhead : float;
+  packet_overhead : float;
+  pareto : bool;
+}
+
+let sweep =
+  let thresholds = [ 600; 900; 1200 ] in
+  let delays = [ None; Some (0.1, 0.3); Some (0.3, 0.6) ] in
+  List.concat_map
+    (fun threshold -> List.map (fun delay -> (Some threshold, delay)) delays)
+    thresholds
+  @ List.map (fun delay -> (None, delay)) [ Some (0.1, 0.3); Some (0.3, 0.6) ]
+
+let policy_of (threshold, delay) =
+  match (threshold, delay) with
+  | Some th, None -> Stob_core.Strategies.stack_split ~threshold:th ()
+  | Some th, Some (lo, hi) -> Stob_core.Strategies.stack_combined ~threshold:th ~lo ~hi ()
+  | None, Some (lo, hi) -> Stob_core.Strategies.stack_delay ~lo ~hi ()
+  | None, None -> Stob_core.Policy.unmodified
+
+let apply (threshold, delay) ~rng trace =
+  let split = match threshold with Some th -> Emulate.split ~threshold:th trace | None -> trace in
+  match delay with Some (lo, hi) -> Emulate.delay ~lo ~hi ~rng split | None -> split
+
+let run ?(samples_per_site = 30) ?(trees = 100) ?(folds = 3) ?(seed = 42) ?(quiet = false) () =
+  let say fmt = Printf.ksprintf (fun s -> if not quiet then Printf.eprintf "%s\n%!" s) fmt in
+  say "pareto: generating corpus...";
+  let base = Dataset.sanitize (Dataset.generate ~samples_per_site ~seed ()) in
+  let measured =
+    List.map
+      (fun params ->
+        let policy = policy_of params in
+        say "pareto: evaluating %s..." policy.Stob_core.Policy.name;
+        let rng = Rng.create (seed + 3) in
+        let defended = Dataset.map_traces base (fun s -> apply params ~rng s.Dataset.trace) in
+        let accuracy = fst (Evalcommon.accuracy_cv ~folds ~trees ~seed defended) in
+        let overheads =
+          Array.to_list
+            (Array.map2
+               (fun (b : Dataset.sample) (d : Dataset.sample) ->
+                 Overhead.summarize ~original:b.Dataset.trace ~defended:d.Dataset.trace)
+               base.Dataset.samples defended.Dataset.samples)
+        in
+        let m = Overhead.mean_summary overheads in
+        (policy, accuracy, m.Overhead.latency, m.Overhead.packets))
+      sweep
+  in
+  (* Pareto efficiency: lower accuracy is better protection; lower cost
+     (latency + packet overhead) is cheaper. *)
+  let cost (_, _, lat, pkt) = lat +. pkt in
+  let dominated p q =
+    let (_, acc_p, _, _) = p and (_, acc_q, _, _) = q in
+    acc_q <= acc_p && cost q <= cost p && (acc_q < acc_p || cost q < cost p)
+  in
+  List.map
+    (fun p ->
+      let policy, accuracy, latency_overhead, packet_overhead = p in
+      {
+        policy;
+        accuracy;
+        latency_overhead;
+        packet_overhead;
+        pareto = not (List.exists (fun q -> dominated p q) measured);
+      })
+    measured
+
+let print points =
+  Printf.printf "Stob policy sweep: protection vs. overhead (* = Pareto-efficient)\n";
+  Printf.printf "  %-32s %-10s %-10s %-10s\n" "policy" "accuracy" "lat-ovhd" "pkt-ovhd";
+  List.iter
+    (fun p ->
+      Printf.printf "  %-32s %-10.3f %+-10.1f%% %+-9.1f%% %s\n"
+        p.policy.Stob_core.Policy.name p.accuracy
+        (p.latency_overhead *. 100.0)
+        (p.packet_overhead *. 100.0)
+        (if p.pareto then "*" else ""))
+    points

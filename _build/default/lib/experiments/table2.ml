@@ -1,0 +1,121 @@
+module Rng = Stob_util.Rng
+module Trace = Stob_net.Trace
+module Dataset = Stob_web.Dataset
+module Features = Stob_kfp.Features
+module Attack = Stob_kfp.Attack
+module Emulate = Stob_defense.Emulate
+
+type config = { samples_per_site : int; folds : int; forest_trees : int; seed : int; quiet : bool }
+
+let default_config = { samples_per_site = 100; folds = 5; forest_trees = 100; seed = 42; quiet = false }
+
+type cell = { mean : float; std : float }
+
+type row = { n_label : string; original : cell; split : cell; delayed : cell; combined : cell }
+
+type result = { rows : row list; per_site : (string * int) list }
+
+type variant = Original | Split | Delayed | Combined
+
+let variant_name = function
+  | Original -> "Original"
+  | Split -> "Split"
+  | Delayed -> "Delayed"
+  | Combined -> "Combined"
+
+let apply_variant variant ~first_n ~rng trace =
+  match variant with
+  | Original -> trace
+  | Split -> Emulate.split ?first_n trace
+  | Delayed -> Emulate.delay ?first_n ~rng trace
+  | Combined -> Emulate.combined ?first_n ~rng trace
+
+(* Accuracy (mean, std over folds) of k-FP on [dataset] where both the
+   countermeasure and the attacker's view are limited to the first
+   [first_n] packets. *)
+let evaluate_variant ~config ~dataset ~variant ~first_n =
+  let rng = Rng.create (config.seed + 17) in
+  let defended =
+    Dataset.map_traces dataset (fun s -> apply_variant variant ~first_n ~rng s.Dataset.trace)
+  in
+  let view (s : Dataset.sample) =
+    match first_n with None -> s.Dataset.trace | Some n -> Trace.prefix s.Dataset.trace n
+  in
+  let feature_cache = Hashtbl.create (Array.length defended.Dataset.samples) in
+  Array.iteri
+    (fun i s -> Hashtbl.add feature_cache i (Features.extract (view s)))
+    defended.Dataset.samples;
+  (* Stratified k-fold CV; index samples so the cache survives fold
+     reshuffling. *)
+  let index = Hashtbl.create (Array.length defended.Dataset.samples) in
+  Array.iteri (fun i s -> Hashtbl.replace index s i) defended.Dataset.samples;
+  let fold_rng = Rng.create (config.seed + 23) in
+  let folds = Dataset.folds defended ~rng:fold_rng ~k:config.folds in
+  let n_classes = Array.length defended.Dataset.site_names in
+  let forest_params =
+    { Stob_ml.Random_forest.default_params with n_trees = config.forest_trees; seed = config.seed }
+  in
+  let accuracies =
+    List.map
+      (fun (train, test) ->
+        let feats d =
+          Array.map (fun s -> Hashtbl.find feature_cache (Hashtbl.find index s)) d.Dataset.samples
+        in
+        let labels d = Array.map (fun s -> s.Dataset.label) d.Dataset.samples in
+        let attack =
+          Attack.train ~forest:forest_params ~n_classes ~features:(feats train)
+            ~labels:(labels train) ()
+        in
+        Attack.evaluate attack ~mode:Attack.Forest_vote ~features:(feats test)
+          ~labels:(labels test))
+      folds
+  in
+  let mean, std = Stob_ml.Eval.mean_std accuracies in
+  { mean; std }
+
+let prefixes = [ ("15", Some 15); ("30", Some 30); ("45", Some 45); ("All", None) ]
+
+let run_on ?(config = default_config) dataset =
+  let clean = Dataset.sanitize dataset in
+  let rows =
+    List.map
+      (fun (n_label, first_n) ->
+        let eval variant =
+          if not config.quiet then
+            Printf.eprintf "table2: N=%s %s...\n%!" n_label (variant_name variant);
+          evaluate_variant ~config ~dataset:clean ~variant ~first_n
+        in
+        {
+          n_label;
+          original = eval Original;
+          split = eval Split;
+          delayed = eval Delayed;
+          combined = eval Combined;
+        })
+      prefixes
+  in
+  { rows; per_site = Dataset.per_site_counts clean }
+
+let run ?(config = default_config) () =
+  let progress =
+    if config.quiet then None
+    else
+      Some (fun ~done_ ~total -> if done_ mod 90 = 0 then Printf.eprintf "table2: generated %d/%d visits\n%!" done_ total)
+  in
+  let dataset =
+    Dataset.generate ~samples_per_site:config.samples_per_site ~seed:config.seed ?progress ()
+  in
+  run_on ~config dataset
+
+let print result =
+  let pp_cell c = Printf.sprintf "%.3f +/- %.3f" c.mean c.std in
+  Printf.printf "Table 2: k-FP Random Forest accuracy rates (closed world, 9 sites)\n";
+  Printf.printf "%-5s %-17s %-17s %-17s %-17s\n" "N" "Original" "Split" "Delayed" "Combined";
+  List.iter
+    (fun r ->
+      Printf.printf "%-5s %-17s %-17s %-17s %-17s\n" r.n_label (pp_cell r.original)
+        (pp_cell r.split) (pp_cell r.delayed) (pp_cell r.combined))
+    result.rows;
+  let counts = List.map snd result.per_site in
+  Printf.printf "(surviving samples per site after sanitization: %s)\n"
+    (String.concat ", " (List.map string_of_int counts))

@@ -1,0 +1,1 @@
+lib/kfp/attack.ml: Array List Stob_ml

@@ -1,0 +1,1 @@
+lib/kfp/attack.mli: Stob_ml

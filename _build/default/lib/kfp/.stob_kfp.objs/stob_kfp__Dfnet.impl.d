@@ -1,0 +1,1 @@
+lib/kfp/dfnet.ml: Array Stob_net Stob_nn Stob_util

@@ -1,0 +1,1 @@
+lib/kfp/dfnet.mli: Stob_net Stob_nn

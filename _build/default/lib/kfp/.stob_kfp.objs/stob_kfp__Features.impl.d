@@ -1,0 +1,1 @@
+lib/kfp/features.ml: Array List Printf Stob_net Stob_util

@@ -1,0 +1,1 @@
+lib/kfp/features.mli: Stob_net

@@ -1,0 +1,30 @@
+module Rf = Stob_ml.Random_forest
+module Knn = Stob_ml.Knn
+module Eval = Stob_ml.Eval
+
+type mode = Forest_vote | Leaf_knn of int
+
+type t = { forest : Rf.t; knn : Knn.t }
+
+let train ?(forest = Rf.default_params) ~n_classes ~features ~labels () =
+  let rf = Rf.train ~params:forest ~n_classes ~features ~labels () in
+  let fingerprints = Array.map (Rf.leaf_fingerprint rf) features in
+  let knn = Knn.create ~fingerprints ~labels ~n_classes in
+  { forest = rf; knn }
+
+let predict t ~mode x =
+  match mode with
+  | Forest_vote -> Rf.predict t.forest x
+  | Leaf_knn k -> Knn.classify t.knn ~k (Rf.leaf_fingerprint t.forest x)
+
+let predict_all t ~mode xs = Array.map (predict t ~mode) xs
+
+let evaluate t ~mode ~features ~labels =
+  Eval.accuracy ~predicted:(predict_all t ~mode features) ~actual:labels
+
+let predict_open_world t ~k x =
+  match Knn.nearest t.knn ~k (Rf.leaf_fingerprint t.forest x) with
+  | [] -> None
+  | (first, _) :: rest -> if List.for_all (fun (l, _) -> l = first) rest then Some first else None
+
+let forest t = t.forest

@@ -1,0 +1,37 @@
+(** The k-FP attack pipeline.
+
+    Train on featurized traces; classify in one of two modes:
+    - [Forest_vote]: the random forest's majority vote — the closed-world
+      configuration the paper's Table 2 reports ("k-FP Random Forest
+      accuracy rates");
+    - [Leaf_knn k]: k-nearest-neighbour over forest leaf fingerprints with
+      Hamming distance — the original k-FP formulation, needed for
+      open-world settings. *)
+
+type mode = Forest_vote | Leaf_knn of int
+
+type t
+
+val train :
+  ?forest:Stob_ml.Random_forest.params ->
+  n_classes:int ->
+  features:float array array ->
+  labels:int array ->
+  unit ->
+  t
+
+val predict : t -> mode:mode -> float array -> int
+
+val predict_all : t -> mode:mode -> float array array -> int array
+
+val evaluate : t -> mode:mode -> features:float array array -> labels:int array -> float
+(** Accuracy on a labelled test set. *)
+
+val predict_open_world : t -> k:int -> float array -> int option
+(** The original k-FP open-world rule: classify as monitored site [s] only
+    when {e all} [k] nearest training fingerprints (Hamming distance over
+    forest leaves) carry label [s]; any disagreement means "unmonitored"
+    ([None]).  Train the attack on monitored sites plus background traffic
+    collapsed into one extra class. *)
+
+val forest : t -> Stob_ml.Random_forest.t

@@ -1,0 +1,43 @@
+module Trace = Stob_net.Trace
+module Packet = Stob_net.Packet
+module Layer = Stob_nn.Layer
+module Network = Stob_nn.Network
+module Rng = Stob_util.Rng
+
+let input_length = 600
+
+let encode trace =
+  Array.init input_length (fun i ->
+      if i < Trace.length trace then float_of_int (Packet.direction_sign trace.(i).Trace.dir)
+      else 0.0)
+
+type t = Network.t
+
+(* Two conv/relu/pool blocks then two dense layers — the DF shape. *)
+let build ~rng ~n_classes =
+  let l1 = input_length in
+  let c1 = Layer.conv_output_length ~length:l1 ~kernel:8 in
+  let p1 = Layer.pool_output_length ~length:c1 ~factor:3 in
+  let c2 = Layer.conv_output_length ~length:p1 ~kernel:8 in
+  let p2 = Layer.pool_output_length ~length:c2 ~factor:3 in
+  Network.create
+    [
+      Layer.conv1d ~rng ~in_channels:1 ~out_channels:8 ~kernel:8 ~length:l1;
+      Layer.relu ();
+      Layer.maxpool1d ~channels:8 ~length:c1 ~factor:3;
+      Layer.conv1d ~rng ~in_channels:8 ~out_channels:16 ~kernel:8 ~length:p1;
+      Layer.relu ();
+      Layer.maxpool1d ~channels:16 ~length:c2 ~factor:3;
+      Layer.dense ~rng ~inputs:(16 * p2) ~outputs:64;
+      Layer.relu ();
+      Layer.dense ~rng ~inputs:64 ~outputs:n_classes;
+    ]
+
+let train ?(epochs = 30) ?(seed = 0) ?on_epoch ~n_classes ~xs ~labels () =
+  let rng = Rng.create seed in
+  let net = build ~rng ~n_classes in
+  Network.fit net ~rng ~xs ~labels ~epochs ?on_epoch ();
+  net
+
+let predict = Network.predict
+let accuracy = Network.accuracy

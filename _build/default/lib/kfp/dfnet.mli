@@ -1,0 +1,36 @@
+(** DF-lite: a Deep-Fingerprinting-style CNN attack.
+
+    The paper's threat model centres on deep-learning WF attacks (Sirinam
+    et al.'s Deep Fingerprinting, Var-CNN) that reach >95 % closed-world
+    accuracy on Tor.  This is a scaled-down clean-room version of that
+    architecture: the input is the sequence of packet {e directions} (+1
+    outgoing, -1 incoming, zero-padded), fed through two 1-D
+    convolution/ReLU/max-pool blocks and two dense layers — no
+    hand-engineered features at all, which is exactly what made the DL
+    attacks notable.
+
+    Scaled for CPU training on simulator corpora: 600-step input, 8/16
+    filters (the original uses 5000 steps and hundreds of filters on a
+    GPU). *)
+
+type t
+
+val input_length : int
+(** Number of leading packet directions consumed (600). *)
+
+val encode : Stob_net.Trace.t -> float array
+(** Signed-direction encoding, zero-padded/truncated to {!input_length}. *)
+
+val train :
+  ?epochs:int ->
+  ?seed:int ->
+  ?on_epoch:(Stob_nn.Network.progress -> unit) ->
+  n_classes:int ->
+  xs:float array array ->
+  labels:int array ->
+  unit ->
+  t
+(** Train on {!encode}d traces.  Default 30 epochs. *)
+
+val predict : t -> float array -> int
+val accuracy : t -> xs:float array array -> labels:int array -> float

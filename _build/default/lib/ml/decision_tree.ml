@@ -1,0 +1,139 @@
+module Rng = Stob_util.Rng
+
+type params = { max_depth : int; min_samples_leaf : int; features_per_split : int option }
+
+let default_params = { max_depth = 32; min_samples_leaf = 1; features_per_split = None }
+
+type leaf = { id : int; label : int; dist : float array }
+
+type node = Leaf of leaf | Split of { feature : int; threshold : float; left : node; right : node }
+
+type t = { root : node; n_leaves : int; depth : int; gains : float array }
+
+let class_counts ~n_classes labels indices =
+  let counts = Array.make n_classes 0 in
+  Array.iter (fun i -> counts.(labels.(i)) <- counts.(labels.(i)) + 1) indices;
+  counts
+
+let gini_of_counts counts total =
+  if total = 0 then 0.0
+  else
+    let t = float_of_int total in
+    1.0
+    -. Array.fold_left
+         (fun acc c ->
+           let p = float_of_int c /. t in
+           acc +. (p *. p))
+         0.0 counts
+
+let majority counts =
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c > counts.(!best) then best := i) counts;
+  !best
+
+(* Find the best (threshold, gini) split of [indices] on [feature], or None
+   if the feature is constant on this node. *)
+let best_split_on_feature ~features ~labels ~n_classes indices feature =
+  let n = Array.length indices in
+  let order = Array.copy indices in
+  Array.sort (fun a b -> compare features.(a).(feature) features.(b).(feature)) order;
+  let total_counts = class_counts ~n_classes labels order in
+  let left_counts = Array.make n_classes 0 in
+  let best = ref None in
+  for i = 0 to n - 2 do
+    let idx = order.(i) in
+    left_counts.(labels.(idx)) <- left_counts.(labels.(idx)) + 1;
+    let v = features.(idx).(feature) and v' = features.(order.(i + 1)).(feature) in
+    if v < v' then begin
+      let n_left = i + 1 in
+      let n_right = n - n_left in
+      let right_counts = Array.mapi (fun c total -> total - left_counts.(c)) total_counts in
+      let score =
+        (float_of_int n_left *. gini_of_counts left_counts n_left
+        +. float_of_int n_right *. gini_of_counts right_counts n_right)
+        /. float_of_int n
+      in
+      let threshold = (v +. v') /. 2.0 in
+      match !best with
+      | Some (_, s) when s <= score -> ()
+      | _ -> best := Some (threshold, score)
+    end
+  done;
+  !best
+
+let train ?(params = default_params) ~rng ~n_classes ~features ~labels () =
+  if Array.length features = 0 then invalid_arg "Decision_tree.train: no samples";
+  if Array.length features <> Array.length labels then
+    invalid_arg "Decision_tree.train: features/labels length mismatch";
+  let n_features = Array.length features.(0) in
+  let n_root = float_of_int (Array.length features) in
+  let gains = Array.make n_features 0.0 in
+  let next_leaf = ref 0 in
+  let max_depth_seen = ref 0 in
+  let make_leaf counts total depth =
+    if depth > !max_depth_seen then max_depth_seen := depth;
+    let id = !next_leaf in
+    incr next_leaf;
+    let dist = Array.map (fun c -> float_of_int c /. float_of_int (max 1 total)) counts in
+    Leaf { id; label = majority counts; dist }
+  in
+  let feature_candidates () =
+    match params.features_per_split with
+    | None -> Array.init n_features (fun i -> i)
+    | Some k -> Rng.sample_without_replacement rng (min k n_features) n_features
+  in
+  let rec grow indices depth =
+    let total = Array.length indices in
+    let counts = class_counts ~n_classes labels indices in
+    let pure = Array.exists (fun c -> c = total) counts in
+    if pure || depth >= params.max_depth || total < 2 * params.min_samples_leaf then
+      make_leaf counts total depth
+    else begin
+      (* Best split over the random feature subset. *)
+      let best = ref None in
+      Array.iter
+        (fun f ->
+          match best_split_on_feature ~features ~labels ~n_classes indices f with
+          | None -> ()
+          | Some (threshold, score) -> (
+              match !best with
+              | Some (_, _, s) when s <= score -> ()
+              | _ -> best := Some (f, threshold, score)))
+        (feature_candidates ());
+      match !best with
+      | None -> make_leaf counts total depth
+      | Some (feature, threshold, score) ->
+          let left_idx = Array.of_list (List.filter (fun i -> features.(i).(feature) <= threshold) (Array.to_list indices)) in
+          let right_idx = Array.of_list (List.filter (fun i -> features.(i).(feature) > threshold) (Array.to_list indices)) in
+          if
+            Array.length left_idx < params.min_samples_leaf
+            || Array.length right_idx < params.min_samples_leaf
+          then make_leaf counts total depth
+          else begin
+            (* Gini importance: impurity decrease weighted by node mass. *)
+            let parent_gini = gini_of_counts counts total in
+            gains.(feature) <-
+              gains.(feature) +. ((parent_gini -. score) *. float_of_int total /. n_root);
+            let left = grow left_idx (depth + 1) in
+            let right = grow right_idx (depth + 1) in
+            Split { feature; threshold; left; right }
+          end
+    end
+  in
+  let root = grow (Array.init (Array.length features) (fun i -> i)) 0 in
+  { root; n_leaves = !next_leaf; depth = !max_depth_seen; gains }
+
+let rec descend node x =
+  match node with
+  | Leaf l -> l
+  | Split { feature; threshold; left; right } ->
+      if x.(feature) <= threshold then descend left x else descend right x
+
+let predict t x = (descend t.root x).label
+let predict_dist t x = Array.copy (descend t.root x).dist
+let leaf_id t x = (descend t.root x).id
+
+let n_leaves t = t.n_leaves
+let depth t = t.depth
+
+let feature_gains t = Array.copy t.gains

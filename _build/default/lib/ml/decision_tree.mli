@@ -1,0 +1,45 @@
+(** CART decision trees (Gini impurity) with random feature subsets.
+
+    The building block of the random forest behind k-FP.  Trees grow fully
+    (until purity or the configured limits) on bootstrap samples; at each
+    split only a random subset of features is considered, which is what
+    decorrelates the forest's trees. *)
+
+type params = {
+  max_depth : int;
+  min_samples_leaf : int;
+  features_per_split : int option;
+      (** [None] = all features; forests pass ~sqrt(n_features). *)
+}
+
+val default_params : params
+(** Depth 32, leaf size 1, all features. *)
+
+type t
+
+val train :
+  ?params:params ->
+  rng:Stob_util.Rng.t ->
+  n_classes:int ->
+  features:float array array ->
+  labels:int array ->
+  unit ->
+  t
+(** [features] is row-major: one float array per sample.  All rows must
+    share a length; labels must lie in [\[0, n_classes)]. *)
+
+val predict : t -> float array -> int
+val predict_dist : t -> float array -> float array
+(** Class distribution at the reached leaf. *)
+
+val leaf_id : t -> float array -> int
+(** Identifier of the leaf a sample lands in (k-FP's fingerprint element).
+    Leaves are numbered consecutively from 0 in construction order. *)
+
+val n_leaves : t -> int
+val depth : t -> int
+
+val feature_gains : t -> float array
+(** Per-feature total impurity decrease (Gini importance), weighted by the
+    fraction of training samples reaching each split.  Length equals the
+    training feature count. *)

@@ -1,0 +1,30 @@
+let hamming a b =
+  if Array.length a <> Array.length b then invalid_arg "Knn.hamming: length mismatch";
+  let d = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    if a.(i) <> b.(i) then incr d
+  done;
+  !d
+
+type t = { fingerprints : int array array; labels : int array; n_classes : int }
+
+let create ~fingerprints ~labels ~n_classes =
+  if Array.length fingerprints <> Array.length labels then
+    invalid_arg "Knn.create: fingerprints/labels length mismatch";
+  if Array.length fingerprints = 0 then invalid_arg "Knn.create: empty training set";
+  { fingerprints; labels; n_classes }
+
+let nearest t ~k x =
+  let distances =
+    Array.mapi (fun i fp -> (hamming fp x, t.labels.(i))) t.fingerprints
+  in
+  Array.sort compare distances;
+  Array.to_list (Array.sub distances 0 (min k (Array.length distances)))
+  |> List.map (fun (d, l) -> (l, d))
+
+let classify t ~k x =
+  let votes = Array.make t.n_classes 0 in
+  List.iter (fun (l, _) -> votes.(l) <- votes.(l) + 1) (nearest t ~k x);
+  let best = ref 0 in
+  Array.iteri (fun c v -> if v > votes.(!best) then best := c) votes;
+  !best

@@ -1,0 +1,19 @@
+(** k-nearest-neighbour classification over leaf fingerprints.
+
+    k-FP's open-world classifier: a test instance's forest fingerprint is
+    compared to every training fingerprint by Hamming distance; the label is
+    the majority among the k closest (ties toward the smaller distance
+    sum). *)
+
+val hamming : int array -> int array -> int
+(** Number of differing positions.  Raises on length mismatch. *)
+
+type t
+
+val create : fingerprints:int array array -> labels:int array -> n_classes:int -> t
+
+val classify : t -> k:int -> int array -> int
+(** Majority label among the [k] nearest training fingerprints. *)
+
+val nearest : t -> k:int -> int array -> (int * int) list
+(** The [k] nearest as [(label, distance)] pairs, closest first. *)

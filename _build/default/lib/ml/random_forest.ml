@@ -1,0 +1,88 @@
+module Rng = Stob_util.Rng
+
+type params = {
+  n_trees : int;
+  max_depth : int;
+  min_samples_leaf : int;
+  features_per_split : [ `Sqrt | `All | `N of int ];
+  seed : int;
+}
+
+let default_params =
+  { n_trees = 100; max_depth = 32; min_samples_leaf = 1; features_per_split = `Sqrt; seed = 0 }
+
+type t = { trees : Decision_tree.t array; n_classes : int }
+
+let train ?(params = default_params) ~n_classes ~features ~labels () =
+  let n = Array.length features in
+  if n = 0 then invalid_arg "Random_forest.train: no samples";
+  let n_features = Array.length features.(0) in
+  let per_split =
+    match params.features_per_split with
+    | `All -> None
+    | `Sqrt -> Some (max 1 (int_of_float (sqrt (float_of_int n_features))))
+    | `N k -> Some (max 1 k)
+  in
+  let tree_params =
+    {
+      Decision_tree.max_depth = params.max_depth;
+      min_samples_leaf = params.min_samples_leaf;
+      features_per_split = per_split;
+    }
+  in
+  let master = Rng.create params.seed in
+  let trees =
+    Array.init params.n_trees (fun _ ->
+        let rng = Rng.split master in
+        (* Bootstrap resample. *)
+        let boot_features = Array.make n features.(0) in
+        let boot_labels = Array.make n 0 in
+        for i = 0 to n - 1 do
+          let j = Rng.int rng n in
+          boot_features.(i) <- features.(j);
+          boot_labels.(i) <- labels.(j)
+        done;
+        Decision_tree.train ~params:tree_params ~rng ~n_classes ~features:boot_features
+          ~labels:boot_labels ())
+  in
+  { trees; n_classes }
+
+let predict_proba t x =
+  let acc = Array.make t.n_classes 0.0 in
+  Array.iter
+    (fun tree ->
+      let dist = Decision_tree.predict_dist tree x in
+      Array.iteri (fun c p -> acc.(c) <- acc.(c) +. p) dist)
+    t.trees;
+  let n = float_of_int (Array.length t.trees) in
+  Array.map (fun v -> v /. n) acc
+
+let predict t x =
+  let votes = Array.make t.n_classes 0 in
+  Array.iter
+    (fun tree ->
+      let c = Decision_tree.predict tree x in
+      votes.(c) <- votes.(c) + 1)
+    t.trees;
+  let best = ref 0 in
+  Array.iteri (fun c v -> if v > votes.(!best) then best := c) votes;
+  !best
+
+let leaf_fingerprint t x = Array.map (fun tree -> Decision_tree.leaf_id tree x) t.trees
+
+let n_trees t = Array.length t.trees
+let n_classes t = t.n_classes
+
+let feature_importance t =
+  let n_features =
+    match Array.length t.trees with
+    | 0 -> 0
+    | _ -> Array.length (Decision_tree.feature_gains t.trees.(0))
+  in
+  let acc = Array.make n_features 0.0 in
+  Array.iter
+    (fun tree ->
+      Array.iteri (fun i g -> acc.(i) <- acc.(i) +. g) (Decision_tree.feature_gains tree))
+    t.trees;
+  let total = Array.fold_left ( +. ) 0.0 acc in
+  if total <= 0.0 then acc else Array.map (fun v -> v /. total) acc

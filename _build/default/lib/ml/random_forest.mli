@@ -1,0 +1,39 @@
+(** Random forests: bagged CART trees with random feature subsets.
+
+    This is the classifier inside k-FP (Hayes & Danezis): each tree trains
+    on a bootstrap resample considering ~sqrt(d) features per split;
+    classification is the majority vote.  [leaf_fingerprint] exposes the
+    per-tree leaf identifiers — the "fingerprint" that gives k-FP its name,
+    used with Hamming-distance k-NN in the open-world attack variant. *)
+
+type params = {
+  n_trees : int;
+  max_depth : int;
+  min_samples_leaf : int;
+  features_per_split : [ `Sqrt | `All | `N of int ];
+  seed : int;
+}
+
+val default_params : params
+(** 100 trees, depth 32, leaf 1, sqrt features, seed 0. *)
+
+type t
+
+val train :
+  ?params:params -> n_classes:int -> features:float array array -> labels:int array -> unit -> t
+
+val predict : t -> float array -> int
+(** Majority vote over the trees (ties break toward the lower label). *)
+
+val predict_proba : t -> float array -> float array
+(** Mean leaf class distribution over trees. *)
+
+val leaf_fingerprint : t -> float array -> int array
+(** One leaf id per tree. *)
+
+val feature_importance : t -> float array
+(** Mean Gini importance over the trees, normalized to sum to 1 (all zeros
+    for a forest of stumps that never split). *)
+
+val n_trees : t -> int
+val n_classes : t -> int

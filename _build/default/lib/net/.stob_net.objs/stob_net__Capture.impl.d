@@ -1,0 +1,1 @@
+lib/net/capture.ml: Array List Packet Trace

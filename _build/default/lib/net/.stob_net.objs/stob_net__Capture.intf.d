@@ -1,0 +1,1 @@
+lib/net/capture.mli: Packet Trace

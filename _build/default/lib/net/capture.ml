@@ -1,0 +1,19 @@
+type t = { mutable events : Trace.event list; mutable n : int }
+
+let create () = { events = []; n = 0 }
+
+let record t ~time (p : Packet.t) =
+  t.events <- { Trace.time; dir = p.dir; size = Packet.wire_size p } :: t.events;
+  t.n <- t.n + 1
+
+let observe t ~dir ~time (p : Packet.t) =
+  t.events <- { Trace.time; dir; size = Packet.wire_size p } :: t.events;
+  t.n <- t.n + 1
+
+let trace t = Trace.sort (Array.of_list (List.rev t.events))
+
+let clear t =
+  t.events <- [];
+  t.n <- 0
+
+let count t = t.n

@@ -1,0 +1,24 @@
+(** Passive capture point (the simulated tcpdump).
+
+    A capture accumulates trace events as packets hit the wire.  Attach one
+    to both directions of a path and every packet of every connection on
+    that path is recorded — the same vantage the paper's eavesdropper (and
+    its data collection) has. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> time:float -> Packet.t -> unit
+(** Record one packet.  Pure ACKs and dummies are recorded like any other
+    packet: they are visible on the wire. *)
+
+val observe : t -> dir:Packet.direction -> time:float -> Packet.t -> unit
+(** Like {!record} but overrides the direction label — used when tapping a
+    unidirectional link whose orientation is known. *)
+
+val trace : t -> Trace.t
+(** Snapshot of everything recorded so far, time-ordered. *)
+
+val clear : t -> unit
+val count : t -> int

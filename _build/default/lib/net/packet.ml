@@ -1,0 +1,66 @@
+type direction = Outgoing | Incoming
+
+let opposite = function Outgoing -> Incoming | Incoming -> Outgoing
+let direction_sign = function Outgoing -> 1 | Incoming -> -1
+
+let pp_direction fmt = function
+  | Outgoing -> Format.pp_print_string fmt "out"
+  | Incoming -> Format.pp_print_string fmt "in"
+
+type t = {
+  flow : int;
+  dir : direction;
+  seq : int;
+  ack : int;
+  payload : int;
+  header : int;
+  syn : bool;
+  fin : bool;
+  is_ack : bool;
+  dummy : bool;
+  rwnd : int;
+  sack : (int * int) list;
+}
+
+let default_header_bytes = 52
+
+let wire_size t = t.payload + t.header
+
+let data ~flow ~dir ~seq ~ack ~payload ?(header = default_header_bytes) ?(fin = false)
+    ?(dummy = false) ~rwnd () =
+  if payload < 0 then invalid_arg "Packet.data: negative payload";
+  { flow; dir; seq; ack; payload; header; syn = false; fin; is_ack = true; dummy; rwnd; sack = [] }
+
+let pure_ack ~flow ~dir ~seq ~ack ?(header = default_header_bytes) ?(sack = []) ~rwnd () =
+  let header = header + (8 * List.length sack) + if sack = [] then 0 else 4 in
+  { flow; dir; seq; ack; payload = 0; header; syn = false; fin = false; is_ack = true; dummy = false; rwnd; sack }
+
+let syn ~flow ~dir ~seq ?(ack = None) ~rwnd () =
+  let ackn, is_ack = match ack with None -> (0, false) | Some a -> (a, true) in
+  {
+    flow;
+    dir;
+    seq;
+    ack = ackn;
+    payload = 0;
+    header = default_header_bytes + 8;
+    (* SYN options (MSS, wscale, SACK-permitted) add a few bytes. *)
+    syn = true;
+    fin = false;
+    is_ack;
+    dummy = false;
+    rwnd;
+    sack = [];
+  }
+
+let seq_end t =
+  let ctrl = (if t.syn then 1 else 0) + if t.fin then 1 else 0 in
+  t.seq + (if t.dummy then 0 else t.payload) + ctrl
+
+let pp fmt t =
+  Format.fprintf fmt "[flow %d %a seq=%d ack=%d len=%d%s%s%s%s]" t.flow pp_direction t.dir t.seq
+    t.ack t.payload
+    (if t.syn then " SYN" else "")
+    (if t.fin then " FIN" else "")
+    (if t.is_ack then " ACK" else "")
+    (if t.dummy then " DUMMY" else "")

@@ -1,0 +1,74 @@
+(** Wire packets.
+
+    This is the unit the links carry and the unit a passive eavesdropper
+    observes.  The fields cover what the TCP model needs (sequence and ACK
+    numbers, flags, advertised window) plus what traffic-analysis code needs
+    (direction, sizes, dummy marking). *)
+
+type direction = Outgoing | Incoming
+(** From the client's point of view: [Outgoing] flows client -> server. *)
+
+val opposite : direction -> direction
+val direction_sign : direction -> int
+(** [+1] for [Outgoing], [-1] for [Incoming] — the signed representation WF
+    literature uses. *)
+
+val pp_direction : Format.formatter -> direction -> unit
+
+type t = {
+  flow : int;  (** Connection identifier (demux key on a shared path). *)
+  dir : direction;
+  seq : int;  (** Sequence number of the first payload byte. *)
+  ack : int;  (** Cumulative acknowledgement number. *)
+  payload : int;  (** Payload bytes carried. *)
+  header : int;  (** Header bytes (IP + TCP). *)
+  syn : bool;
+  fin : bool;
+  is_ack : bool;  (** ACK flag set (true on everything but the initial SYN). *)
+  dummy : bool;  (** Padding packet carrying no real data. *)
+  rwnd : int;  (** Advertised receive window, in bytes. *)
+  sack : (int * int) list;
+      (** SACK blocks: received-but-not-yet-acked [lo, hi) byte ranges (at
+          most three, like real TCP options). *)
+}
+
+val default_header_bytes : int
+(** IPv4 + TCP with timestamps: 52 bytes. *)
+
+val wire_size : t -> int
+(** [payload + header]: the size an eavesdropper observes. *)
+
+val data :
+  flow:int ->
+  dir:direction ->
+  seq:int ->
+  ack:int ->
+  payload:int ->
+  ?header:int ->
+  ?fin:bool ->
+  ?dummy:bool ->
+  rwnd:int ->
+  unit ->
+  t
+(** Data-bearing packet (ACK flag set). *)
+
+val pure_ack :
+  flow:int ->
+  dir:direction ->
+  seq:int ->
+  ack:int ->
+  ?header:int ->
+  ?sack:(int * int) list ->
+  rwnd:int ->
+  unit ->
+  t
+(** Payload-less acknowledgement, optionally carrying SACK blocks. *)
+
+val syn : flow:int -> dir:direction -> seq:int -> ?ack:int option -> rwnd:int -> unit -> t
+(** SYN, or SYN|ACK when [ack] is provided.  Occupies one sequence number. *)
+
+val seq_end : t -> int
+(** Sequence number just past this packet's payload (SYN/FIN occupy one
+    sequence number each, per TCP). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/nn/network.ml: Array Float Layer List Stob_util

@@ -1,0 +1,1 @@
+lib/nn/network.mli: Layer Stob_util

@@ -1,0 +1,155 @@
+module Rng = Stob_util.Rng
+
+type t = {
+  forward : float array -> float array;
+  backward : float array -> float array;
+  update : lr:float -> unit;
+}
+
+let momentum = 0.9
+
+(* Parameter block with gradient accumulation and momentum. *)
+type param = { value : float array; grad : float array; vel : float array }
+
+let make_param values =
+  let n = Array.length values in
+  { value = values; grad = Array.make n 0.0; vel = Array.make n 0.0 }
+
+let sgd_step p ~lr =
+  for i = 0 to Array.length p.value - 1 do
+    p.vel.(i) <- (momentum *. p.vel.(i)) -. (lr *. p.grad.(i));
+    p.value.(i) <- p.value.(i) +. p.vel.(i);
+    p.grad.(i) <- 0.0
+  done
+
+let he_init rng n fan_in =
+  let scale = sqrt (2.0 /. float_of_int (max 1 fan_in)) in
+  Array.init n (fun _ -> Rng.normal rng ~mu:0.0 ~sigma:scale)
+
+let dense ~rng ~inputs ~outputs =
+  let w = make_param (he_init rng (inputs * outputs) inputs) in
+  let b = make_param (Array.make outputs 0.0) in
+  let cached_input = ref [||] in
+  let forward x =
+    cached_input := x;
+    Array.init outputs (fun o ->
+        let acc = ref b.value.(o) in
+        let row = o * inputs in
+        for i = 0 to inputs - 1 do
+          acc := !acc +. (w.value.(row + i) *. x.(i))
+        done;
+        !acc)
+  in
+  let backward dout =
+    let x = !cached_input in
+    let din = Array.make inputs 0.0 in
+    for o = 0 to outputs - 1 do
+      let g = dout.(o) in
+      b.grad.(o) <- b.grad.(o) +. g;
+      let row = o * inputs in
+      for i = 0 to inputs - 1 do
+        w.grad.(row + i) <- w.grad.(row + i) +. (g *. x.(i));
+        din.(i) <- din.(i) +. (g *. w.value.(row + i))
+      done
+    done;
+    din
+  in
+  let update ~lr =
+    sgd_step w ~lr;
+    sgd_step b ~lr
+  in
+  { forward; backward; update }
+
+let relu () =
+  let cached = ref [||] in
+  let forward x =
+    cached := x;
+    Array.map (fun v -> if v > 0.0 then v else 0.0) x
+  in
+  let backward dout =
+    Array.mapi (fun i g -> if !cached.(i) > 0.0 then g else 0.0) dout
+  in
+  { forward; backward; update = (fun ~lr:_ -> ()) }
+
+let conv_output_length ~length ~kernel = length - kernel + 1
+let pool_output_length ~length ~factor = length / factor
+
+let conv1d ~rng ~in_channels ~out_channels ~kernel ~length =
+  let out_len = conv_output_length ~length ~kernel in
+  if out_len <= 0 then invalid_arg "Layer.conv1d: kernel larger than input";
+  let w = make_param (he_init rng (out_channels * in_channels * kernel) (in_channels * kernel)) in
+  let b = make_param (Array.make out_channels 0.0) in
+  let cached_input = ref [||] in
+  let widx oc ic k = (((oc * in_channels) + ic) * kernel) + k in
+  let forward x =
+    cached_input := x;
+    let out = Array.make (out_channels * out_len) 0.0 in
+    for oc = 0 to out_channels - 1 do
+      let obase = oc * out_len in
+      for p = 0 to out_len - 1 do
+        let acc = ref b.value.(oc) in
+        for ic = 0 to in_channels - 1 do
+          let ibase = ic * length in
+          for k = 0 to kernel - 1 do
+            acc := !acc +. (w.value.(widx oc ic k) *. x.(ibase + p + k))
+          done
+        done;
+        out.(obase + p) <- !acc
+      done
+    done;
+    out
+  in
+  let backward dout =
+    let x = !cached_input in
+    let din = Array.make (in_channels * length) 0.0 in
+    for oc = 0 to out_channels - 1 do
+      let obase = oc * out_len in
+      for p = 0 to out_len - 1 do
+        let g = dout.(obase + p) in
+        if g <> 0.0 then begin
+          b.grad.(oc) <- b.grad.(oc) +. g;
+          for ic = 0 to in_channels - 1 do
+            let ibase = ic * length in
+            for k = 0 to kernel - 1 do
+              w.grad.(widx oc ic k) <- w.grad.(widx oc ic k) +. (g *. x.(ibase + p + k));
+              din.(ibase + p + k) <- din.(ibase + p + k) +. (g *. w.value.(widx oc ic k))
+            done
+          done
+        end
+      done
+    done;
+    din
+  in
+  let update ~lr =
+    sgd_step w ~lr;
+    sgd_step b ~lr
+  in
+  { forward; backward; update }
+
+let maxpool1d ~channels ~length ~factor =
+  if factor <= 0 then invalid_arg "Layer.maxpool1d: factor must be positive";
+  let out_len = pool_output_length ~length ~factor in
+  if out_len = 0 then invalid_arg "Layer.maxpool1d: input shorter than factor";
+  let argmax = Array.make (channels * out_len) 0 in
+  let forward x =
+    let out = Array.make (channels * out_len) 0.0 in
+    for c = 0 to channels - 1 do
+      let ibase = c * length and obase = c * out_len in
+      for p = 0 to out_len - 1 do
+        let start = ibase + (p * factor) in
+        let best = ref start in
+        for k = 1 to factor - 1 do
+          if x.(start + k) > x.(!best) then best := start + k
+        done;
+        argmax.(obase + p) <- !best;
+        out.(obase + p) <- x.(!best)
+      done
+    done;
+    out
+  in
+  let backward dout =
+    let din = Array.make (channels * length) 0.0 in
+    Array.iteri (fun i g -> din.(argmax.(i)) <- din.(argmax.(i)) +. g) dout;
+    din
+  in
+  { forward; backward; update = (fun ~lr:_ -> ()) }

@@ -1,0 +1,39 @@
+(** Neural-network layers with hand-derived backpropagation.
+
+    A deliberately small, dependency-free substrate for the deep-learning
+    WF attacks the paper's Section 2 centres on (Deep Fingerprinting,
+    Var-CNN): 1-D convolutions over the packet-direction sequence, ReLU,
+    max-pooling, dense layers, and SGD-with-momentum updates.
+
+    Layers are stateful: [forward] caches what [backward] needs, so a layer
+    instance processes one sample at a time (per-sample SGD).  Gradients
+    accumulate across [backward] calls until [update] applies and clears
+    them — which is how minibatches are realized.
+
+    1-D feature maps use channel-major layout: channel [c], position [p]
+    lives at index [c * length + p]. *)
+
+type t = {
+  forward : float array -> float array;
+  backward : float array -> float array;
+      (** Maps dLoss/dOutput to dLoss/dInput, accumulating parameter
+          gradients. Must follow the corresponding [forward]. *)
+  update : lr:float -> unit;
+      (** SGD-with-momentum step over accumulated gradients; clears them. *)
+}
+
+val dense : rng:Stob_util.Rng.t -> inputs:int -> outputs:int -> t
+(** Fully connected layer, He-initialized. *)
+
+val relu : unit -> t
+
+val conv1d :
+  rng:Stob_util.Rng.t -> in_channels:int -> out_channels:int -> kernel:int -> length:int -> t
+(** Valid (no padding) 1-D convolution over channel-major input of
+    [in_channels * length]; output is [out_channels * (length - kernel + 1)]. *)
+
+val maxpool1d : channels:int -> length:int -> factor:int -> t
+(** Non-overlapping max pooling per channel; trailing remainder dropped. *)
+
+val conv_output_length : length:int -> kernel:int -> int
+val pool_output_length : length:int -> factor:int -> int

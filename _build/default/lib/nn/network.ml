@@ -1,0 +1,60 @@
+module Rng = Stob_util.Rng
+
+type t = { layers : Layer.t list }
+
+let create layers = { layers }
+
+let logits t x = List.fold_left (fun acc layer -> layer.Layer.forward acc) x t.layers
+
+let predict t x =
+  let out = logits t x in
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v > out.(!best) then best := i) out;
+  !best
+
+let softmax z =
+  let m = Array.fold_left Float.max neg_infinity z in
+  let exps = Array.map (fun v -> exp (v -. m)) z in
+  let sum = Array.fold_left ( +. ) 0.0 exps in
+  Array.map (fun v -> v /. sum) exps
+
+let train_sample t ~x ~label =
+  let out = logits t x in
+  let probs = softmax out in
+  let loss = -.log (Float.max 1e-12 probs.(label)) in
+  (* dLoss/dlogits of softmax cross-entropy: p - onehot. *)
+  let dout = Array.mapi (fun i p -> if i = label then p -. 1.0 else p) probs in
+  ignore (List.fold_left (fun acc layer -> layer.Layer.backward acc) dout (List.rev t.layers));
+  loss
+
+let apply_update t ~lr = List.iter (fun layer -> layer.Layer.update ~lr) t.layers
+
+type progress = { epoch : int; mean_loss : float }
+
+let fit t ~rng ~xs ~labels ?(epochs = 30) ?(batch = 16) ?(lr = 0.01) ?on_epoch () =
+  let n = Array.length xs in
+  if n = 0 || n <> Array.length labels then invalid_arg "Network.fit: bad inputs";
+  let order = Array.init n (fun i -> i) in
+  for epoch = 1 to epochs do
+    Rng.shuffle rng order;
+    let total_loss = ref 0.0 in
+    let in_batch = ref 0 in
+    Array.iter
+      (fun i ->
+        total_loss := !total_loss +. train_sample t ~x:xs.(i) ~label:labels.(i);
+        incr in_batch;
+        if !in_batch >= batch then begin
+          apply_update t ~lr:(lr /. float_of_int !in_batch);
+          in_batch := 0
+        end)
+      order;
+    if !in_batch > 0 then apply_update t ~lr:(lr /. float_of_int !in_batch);
+    match on_epoch with
+    | Some f -> f { epoch; mean_loss = !total_loss /. float_of_int n }
+    | None -> ()
+  done
+
+let accuracy t ~xs ~labels =
+  let hits = ref 0 in
+  Array.iteri (fun i x -> if predict t x = labels.(i) then incr hits) xs;
+  float_of_int !hits /. float_of_int (max 1 (Array.length xs))

@@ -1,0 +1,43 @@
+(** Sequential networks with softmax cross-entropy training.
+
+    Composes {!Layer.t}s, trains with minibatch SGD (gradients accumulate
+    per sample; one update per batch) under a softmax cross-entropy loss,
+    and predicts by argmax over logits. *)
+
+type t
+
+val create : Layer.t list -> t
+
+val logits : t -> float array -> float array
+(** Forward pass. *)
+
+val predict : t -> float array -> int
+(** Argmax class. *)
+
+val softmax : float array -> float array
+(** Numerically stable softmax (exposed for tests). *)
+
+val train_sample : t -> x:float array -> label:int -> float
+(** Forward + backward for one sample; returns its cross-entropy loss.
+    Gradients accumulate until {!apply_update}. *)
+
+val apply_update : t -> lr:float -> unit
+
+type progress = { epoch : int; mean_loss : float }
+
+val fit :
+  t ->
+  rng:Stob_util.Rng.t ->
+  xs:float array array ->
+  labels:int array ->
+  ?epochs:int ->
+  ?batch:int ->
+  ?lr:float ->
+  ?on_epoch:(progress -> unit) ->
+  unit ->
+  unit
+(** Shuffled minibatch SGD.  Defaults: 30 epochs, batch 16, lr 0.01 (the
+    learning rate is divided by the batch size internally so loss gradients
+    average rather than sum). *)
+
+val accuracy : t -> xs:float array array -> labels:int array -> float

@@ -1,0 +1,1 @@
+lib/quic/connection.ml: Endpoint Hashtbl Stob_net Stob_tcp

@@ -1,0 +1,1 @@
+lib/quic/connection.mli: Endpoint Stob_sim Stob_tcp

@@ -1,0 +1,1 @@
+lib/quic/endpoint.ml: Array Frame Hashtbl List Option Stob_net Stob_sim Stob_tcp

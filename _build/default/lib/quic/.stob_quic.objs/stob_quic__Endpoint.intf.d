@@ -1,0 +1,1 @@
+lib/quic/endpoint.mli: Frame Hashtbl Stob_net Stob_sim Stob_tcp

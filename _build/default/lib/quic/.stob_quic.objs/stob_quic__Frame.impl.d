@@ -1,0 +1,1 @@
+lib/quic/frame.ml: Format List Printf String

@@ -1,0 +1,27 @@
+module Packet = Stob_net.Packet
+module Path = Stob_tcp.Path
+
+type t = { client : Endpoint.t; server : Endpoint.t; flow : int; flight_bytes : int }
+
+let create ~engine ~path ~flow ?(config = Endpoint.default_config) ?(cc = Stob_tcp.Cubic.make)
+    ?server_cpu ?server_hooks ~flight_bytes () =
+  let wire = Hashtbl.create 1024 in
+  let tx packets = Path.send path packets in
+  let client =
+    Endpoint.create ~engine ~config ~cc:(cc config) ~flow ~dir:Packet.Outgoing ~wire ~tx ()
+  in
+  let server =
+    Endpoint.create ~engine ~config ~cc:(cc config) ~flow ~dir:Packet.Incoming ~wire ?cpu:server_cpu
+      ?hooks:server_hooks ~tx ()
+  in
+  Endpoint.listen server ~flight_bytes;
+  Path.register path ~flow
+    ~client:(fun p -> Endpoint.receive client p)
+    ~server:(fun p -> Endpoint.receive server p);
+  { client; server; flow; flight_bytes }
+
+let client t = t.client
+let server t = t.server
+let flow t = t.flow
+let open_ t = Endpoint.connect t.client ~flight_bytes:t.flight_bytes ()
+let on_established t f = Endpoint.set_on_established t.client f

@@ -1,0 +1,575 @@
+module Packet = Stob_net.Packet
+module Engine = Stob_sim.Engine
+module Cpu = Stob_sim.Cpu
+module Config = Stob_tcp.Config
+module Cc = Stob_tcp.Cc
+module Rtt = Stob_tcp.Rtt
+module Pacer = Stob_tcp.Pacer
+module Hooks = Stob_tcp.Hooks
+module Cpu_costs = Stob_tcp.Cpu_costs
+
+let default_config =
+  {
+    Config.default with
+    Config.mss = 1350;  (* datagram payload budget *)
+    header_bytes = 43;  (* IP + UDP + QUIC short header *)
+    tso_max_bytes = 65535;  (* UDP GSO burst *)
+    tso_min_bytes = 2 * 1350;
+  }
+
+let crypto_stream = 0
+let finished_stream = 2
+let loss_threshold = 3
+let max_ack_delay = 0.025
+let initial_min_payload = 1200
+
+type role = Client | Server
+
+type sent_packet = {
+  pn : int;
+  payload : int;
+  frames : Frame.t list;
+  sent_at : float;
+  ack_eliciting : bool;
+  mutable acked : bool;
+  mutable lost : bool;
+}
+
+type stream_out = {
+  id : int;
+  mutable next_offset : int;
+  mutable queued : int;
+  mutable fin_pending : bool;
+  mutable fin_sent : bool;
+  mutable rtx : Frame.stream_chunk list;
+}
+
+type stream_in = {
+  mutable intervals : (int * int) list;  (* sorted disjoint [lo, hi) *)
+  mutable delivered : int;
+  mutable fin_offset : int option;
+  mutable fin_delivered : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  config : Config.t;
+  cc : Cc.t;
+  rtt : Rtt.t;
+  pacer : Pacer.t;
+  flow : int;
+  dir : Packet.direction;
+  wire : (Packet.direction * int, Frame.t list) Hashtbl.t;
+  cpu : (Cpu.t * Cpu_costs.t) option;
+  mutable hooks : Hooks.t;
+  tx : Packet.t array -> unit;
+  mutable role : role;
+  mutable established : bool;
+  mutable flight_bytes : int;  (* server: size of its handshake flight *)
+  mutable flight_sent : bool;
+  (* --- sender --- *)
+  mutable pn_next : int;
+  sent : (int, sent_packet) Hashtbl.t;
+  mutable largest_acked : int;
+  mutable inflight : int;
+  streams_out : (int, stream_out) Hashtbl.t;
+  mutable send_timer : Engine.event_id option;
+  mutable pto_timer : Engine.event_id option;
+  (* --- receiver --- *)
+  streams_in : (int, stream_in) Hashtbl.t;
+  mutable received : (int * int) list;  (* pn ranges [lo, hi] inclusive *)
+  mutable ack_pending : bool;
+  mutable pkts_since_ack : int;
+  mutable ack_timer : Engine.event_id option;
+  (* --- callbacks --- *)
+  mutable on_established : unit -> unit;
+  mutable on_stream : stream:int -> int -> unit;
+  mutable on_stream_fin : stream:int -> unit;
+  (* --- stats --- *)
+  mutable packets_sent : int;
+  mutable datagrams_sent : int;
+  mutable rtx_chunks : int;
+}
+
+let create ~engine ~config ~cc ~flow ~dir ~wire ?cpu ?(hooks = Hooks.default) ~tx () =
+  {
+    engine;
+    config;
+    cc;
+    rtt = Rtt.create config;
+    pacer = Pacer.create ();
+    flow;
+    dir;
+    wire;
+    cpu;
+    hooks;
+    tx;
+    role = Server;
+    established = false;
+    flight_bytes = 0;
+    flight_sent = false;
+    pn_next = 0;
+    sent = Hashtbl.create 256;
+    largest_acked = -1;
+    inflight = 0;
+    streams_out = Hashtbl.create 16;
+    send_timer = None;
+    pto_timer = None;
+    streams_in = Hashtbl.create 16;
+    received = [];
+    ack_pending = false;
+    pkts_since_ack = 0;
+    ack_timer = None;
+    on_established = (fun () -> ());
+    on_stream = (fun ~stream:_ _ -> ());
+    on_stream_fin = (fun ~stream:_ -> ());
+    packets_sent = 0;
+    datagrams_sent = 0;
+    rtx_chunks = 0;
+  }
+
+let established t = t.established
+let set_on_established t f = t.on_established <- f
+let set_on_stream t f = t.on_stream <- f
+let set_on_stream_fin t f = t.on_stream_fin <- f
+let set_hooks t h = t.hooks <- h
+let cc t = t.cc
+let inflight t = t.inflight
+let packets_sent t = t.packets_sent
+let datagrams_sent t = t.datagrams_sent
+let retransmitted_chunks t = t.rtx_chunks
+let srtt t = Rtt.srtt t.rtt
+let now t = Engine.now t.engine
+
+let stream_out t id =
+  match Hashtbl.find_opt t.streams_out id with
+  | Some s -> s
+  | None ->
+      let s = { id; next_offset = 0; queued = 0; fin_pending = false; fin_sent = false; rtx = [] } in
+      Hashtbl.add t.streams_out id s;
+      s
+
+let stream_in t id =
+  match Hashtbl.find_opt t.streams_in id with
+  | Some s -> s
+  | None ->
+      let s = { intervals = []; delivered = 0; fin_offset = None; fin_delivered = false } in
+      Hashtbl.add t.streams_in id s;
+      s
+
+(* ------------------------------------------------------------------ *)
+(* Transmission                                                         *)
+
+let frames_payload frames = List.fold_left (fun acc f -> acc + Frame.wire_bytes f) 0 frames
+
+(* Record one datagram and build its wire packet. *)
+let make_datagram t frames =
+  let pn = t.pn_next in
+  t.pn_next <- pn + 1;
+  let payload = frames_payload frames in
+  let ack_eliciting = List.exists Frame.is_ack_eliciting frames in
+  Hashtbl.replace t.wire (t.dir, pn) frames;
+  if ack_eliciting then begin
+    Hashtbl.replace t.sent
+      pn
+      { pn; payload; frames; sent_at = now t; ack_eliciting; acked = false; lost = false };
+    t.inflight <- t.inflight + payload
+  end;
+  t.datagrams_sent <- t.datagrams_sent + 1;
+  t.packets_sent <- t.packets_sent + 1;
+  Packet.data ~flow:t.flow ~dir:t.dir ~seq:pn ~ack:0 ~payload ~header:t.config.Config.header_bytes
+    ~rwnd:t.config.Config.rcv_wnd ()
+
+let transmit_burst t ~release packets =
+  if Array.length packets > 0 then begin
+    let send () =
+      match t.cpu with
+      | None -> t.tx packets
+      | Some (cpu, costs) ->
+          let bytes = Array.fold_left (fun acc p -> acc + Packet.wire_size p) 0 packets in
+          let cost = Cpu_costs.segment_cost costs ~packets:(Array.length packets) ~bytes in
+          Cpu.submit cpu ~cost (fun () -> t.tx packets)
+    in
+    if release <= now t then send ()
+    else ignore (Engine.schedule_at t.engine ~time:release send)
+  end
+
+let ack_frame t =
+  (* Up to 8 most recent ranges, highest first. *)
+  let rec take n = function [] -> [] | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest in
+  Frame.Ack { ranges = take 8 t.received }
+
+let cancel_timer t field =
+  match field with
+  | Some ev ->
+      Engine.cancel t.engine ev;
+      None
+  | None -> None
+
+let send_ack_now t =
+  if t.received <> [] then begin
+    t.ack_pending <- false;
+    t.pkts_since_ack <- 0;
+    t.ack_timer <- cancel_timer t t.ack_timer;
+    let pkt = make_datagram t [ ack_frame t ] in
+    transmit_burst t ~release:(now t) [| pkt |]
+  end
+
+(* Pull the next stream chunk that fits in [space] payload bytes; rtx
+   chunks first, then new data, streams in id order. *)
+let next_chunk t ~space =
+  if space <= 8 then None
+  else begin
+    let ids = List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.streams_out []) in
+    let rec try_streams = function
+      | [] -> None
+      | id :: rest -> (
+          let s = Hashtbl.find t.streams_out id in
+          match s.rtx with
+          | chunk :: more ->
+              t.rtx_chunks <- t.rtx_chunks + 1;
+              if chunk.Frame.length + 8 <= space then begin
+                s.rtx <- more;
+                Some chunk
+              end
+              else begin
+                (* Split the retransmission to fit the datagram. *)
+                let take = space - 8 in
+                let head = { chunk with Frame.length = take; fin = false } in
+                let tail =
+                  {
+                    chunk with
+                    Frame.offset = chunk.Frame.offset + take;
+                    length = chunk.Frame.length - take;
+                  }
+                in
+                s.rtx <- tail :: more;
+                Some head
+              end
+          | [] ->
+              if s.queued > 0 then begin
+                let take = min s.queued (space - 8) in
+                let fin = s.fin_pending && take = s.queued in
+                let chunk =
+                  { Frame.stream = id; offset = s.next_offset; length = take; fin }
+                in
+                s.next_offset <- s.next_offset + take;
+                s.queued <- s.queued - take;
+                if fin then begin
+                  s.fin_sent <- true;
+                  s.fin_pending <- false
+                end;
+                Some chunk
+              end
+              else if s.fin_pending && not s.fin_sent then begin
+                (* Bare FIN. *)
+                s.fin_sent <- true;
+                s.fin_pending <- false;
+                Some { Frame.stream = id; offset = s.next_offset; length = 0; fin = true }
+              end
+              else try_streams rest)
+    in
+    try_streams ids
+  end
+
+let has_data t =
+  Hashtbl.fold
+    (fun _ s acc -> acc || s.queued > 0 || s.rtx <> [] || (s.fin_pending && not s.fin_sent))
+    t.streams_out false
+
+let rec arm_pto t =
+  t.pto_timer <- cancel_timer t t.pto_timer;
+  t.pto_timer <- Some (Engine.schedule t.engine ~delay:(Rtt.rto t.rtt) (fun () -> handle_pto t))
+
+and handle_pto t =
+  t.pto_timer <- None;
+  (* Probe timeout: declare the oldest unacked datagram lost and resend its
+     stream data. *)
+  let oldest =
+    Hashtbl.fold
+      (fun _ p acc ->
+        if p.acked || p.lost then acc
+        else match acc with None -> Some p | Some q -> if p.pn < q.pn then Some p else acc)
+      t.sent None
+  in
+  match oldest with
+  | None -> ()
+  | Some p ->
+      mark_lost t p;
+      Rtt.backoff t.rtt;
+      t.cc.Cc.on_loss ~now:(now t);
+      arm_pto t;
+      try_send t
+
+and mark_lost t p =
+  if not (p.lost || p.acked) then begin
+    p.lost <- true;
+    t.inflight <- max 0 (t.inflight - p.payload);
+    List.iter
+      (fun frame ->
+        match frame with
+        | Frame.Stream chunk when chunk.Frame.length > 0 || chunk.Frame.fin ->
+            let s = stream_out t chunk.Frame.stream in
+            s.rtx <- chunk :: s.rtx
+        | Frame.Stream _ | Frame.Ack _ | Frame.Padding _ | Frame.Ping -> ())
+      p.frames;
+    Hashtbl.remove t.sent p.pn
+  end
+
+(* The QUIC transmit loop: GSO-burst construction with the Stob hook at the
+   same decision point as TCP's segment commit. *)
+and try_send t =
+  let window = t.cc.Cc.cwnd () - t.inflight in
+  if has_data t && window > 0 then begin
+    let departure = Pacer.next_departure t.pacer ~now:(now t) in
+    if departure > now t then begin
+      if t.send_timer = None then
+        t.send_timer <-
+          Some
+            (Engine.schedule_at t.engine ~time:departure (fun () ->
+                 t.send_timer <- None;
+                 try_send t))
+    end
+    else begin
+      let pacing_rate = t.cc.Cc.pacing_rate () in
+      let stack_gso = Config.tso_autosize t.config ~pacing_rate_bps:pacing_rate in
+      let budget = min stack_gso window in
+      let stack_decision =
+        {
+          Hooks.tso_bytes = max 1 budget;
+          packet_payload = t.config.Config.mss;
+          earliest_departure = departure;
+        }
+      in
+      let proposed =
+        t.hooks.Hooks.on_segment ~now:(now t) ~flow:t.flow ~phase:(t.cc.Cc.phase ())
+          stack_decision
+      in
+      let decision = Hooks.clamp ~stack:stack_decision proposed in
+      (* Build the burst. *)
+      let packets = ref [] in
+      let burst_payload = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let space = min decision.Hooks.packet_payload (decision.Hooks.tso_bytes - !burst_payload) in
+        if space <= 8 then continue := false
+        else begin
+          let frames = ref [] in
+          if t.ack_pending && !packets = [] then begin
+            frames := [ ack_frame t ];
+            t.ack_pending <- false;
+            t.pkts_since_ack <- 0;
+            t.ack_timer <- cancel_timer t t.ack_timer
+          end;
+          let space_left () = space - frames_payload !frames in
+          let rec fill () =
+            match next_chunk t ~space:(space_left ()) with
+            | Some chunk ->
+                frames := Frame.Stream chunk :: !frames;
+                if space_left () > 8 then fill ()
+            | None -> ()
+          in
+          fill ();
+          let has_stream = List.exists (function Frame.Stream _ -> true | _ -> false) !frames in
+          if not has_stream then continue := false
+          else begin
+            (* The client's first flight is padded to 1200 B (Initial
+               anti-amplification). *)
+            let frames =
+              if t.role = Client && t.pn_next = 0 && frames_payload !frames < initial_min_payload
+              then Frame.Padding (initial_min_payload - frames_payload !frames) :: !frames
+              else !frames
+            in
+            let pkt = make_datagram t (List.rev frames) in
+            burst_payload := !burst_payload + pkt.Packet.payload;
+            packets := pkt :: !packets
+          end
+        end
+      done;
+      let packets = Array.of_list (List.rev !packets) in
+      if Array.length packets > 0 then begin
+        let release = decision.Hooks.earliest_departure in
+        Pacer.commit t.pacer ~departure:release ~rate_bps:pacing_rate ~bytes:!burst_payload;
+        transmit_burst t ~release packets;
+        if t.pto_timer = None then arm_pto t;
+        try_send t
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Application interface                                                *)
+
+let send_stream t ~stream ?(fin = false) n =
+  if n < 0 then invalid_arg "Quic.Endpoint.send_stream: negative byte count";
+  let s = stream_out t stream in
+  if s.fin_sent || s.fin_pending then invalid_arg "Quic.Endpoint.send_stream: stream closed";
+  s.queued <- s.queued + n;
+  if fin then s.fin_pending <- true;
+  try_send t
+
+let send_padding_datagram t n =
+  if n <= 0 then invalid_arg "Quic.Endpoint.send_padding_datagram: byte count must be positive";
+  let pkt = make_datagram t [ Frame.Padding (min n t.config.Config.mss) ] in
+  transmit_burst t ~release:(now t) [| pkt |]
+
+let connect t ?(crypto_bytes = 350) ~flight_bytes:_ () =
+  t.role <- Client;
+  send_stream t ~stream:crypto_stream ~fin:true crypto_bytes
+
+let listen t ~flight_bytes =
+  t.role <- Server;
+  t.flight_bytes <- flight_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Receive path                                                         *)
+
+let insert_range ranges pn =
+  (* Inclusive [lo, hi] ranges, kept sorted descending by lo. *)
+  let rec go acc = function
+    | [] -> List.rev ((pn, pn) :: acc)
+    | (lo, hi) :: rest ->
+        if pn >= lo - 1 && pn <= hi + 1 then List.rev_append acc ((min lo pn, max hi pn) :: rest)
+        else if pn > hi then List.rev_append acc ((pn, pn) :: (lo, hi) :: rest)
+        else go ((lo, hi) :: acc) rest
+  in
+  go [] ranges
+
+let insert_interval intervals lo hi =
+  let rec go acc lo hi = function
+    | [] -> List.rev ((lo, hi) :: acc)
+    | (l, h) :: rest when h < lo -> go ((l, h) :: acc) lo hi rest
+    | (l, h) :: rest when l > hi -> List.rev_append acc ((lo, hi) :: (l, h) :: rest)
+    | (l, h) :: rest -> go acc (min l lo) (max h hi) rest
+  in
+  go [] lo hi intervals
+
+let handshake_progress t ~stream =
+  match (t.role, stream) with
+  | Server, s when s = crypto_stream ->
+      (* Client Initial complete: answer with our flight. *)
+      if not t.flight_sent then begin
+        t.flight_sent <- true;
+        send_stream t ~stream:crypto_stream ~fin:true (max 1 t.flight_bytes)
+      end
+  | Client, s when s = crypto_stream ->
+      (* Server flight complete: handshake confirmed; send finished. *)
+      if not t.established then begin
+        t.established <- true;
+        send_stream t ~stream:finished_stream ~fin:true 64;
+        t.on_established ()
+      end
+  | Server, s when s = finished_stream ->
+      if not t.established then begin
+        t.established <- true;
+        t.on_established ()
+      end
+  | _ -> ()
+
+let deliver_stream t id =
+  let s = stream_in t id in
+  let rec drain () =
+    match s.intervals with
+    | (lo, hi) :: rest when lo <= s.delivered ->
+        let fresh = max 0 (hi - s.delivered) in
+        s.intervals <- rest;
+        s.delivered <- max s.delivered hi;
+        if fresh > 0 && id > finished_stream then t.on_stream ~stream:id fresh;
+        drain ()
+    | _ -> ()
+  in
+  drain ();
+  match s.fin_offset with
+  | Some fin_at when s.delivered >= fin_at && not s.fin_delivered ->
+      s.fin_delivered <- true;
+      if id > finished_stream then t.on_stream_fin ~stream:id;
+      handshake_progress t ~stream:id
+  | _ -> ()
+
+let process_stream_chunk t (chunk : Frame.stream_chunk) =
+  let s = stream_in t chunk.Frame.stream in
+  if chunk.Frame.length > 0 then
+    s.intervals <-
+      insert_interval s.intervals chunk.Frame.offset (chunk.Frame.offset + chunk.Frame.length);
+  if chunk.Frame.fin then s.fin_offset <- Some (chunk.Frame.offset + chunk.Frame.length);
+  deliver_stream t chunk.Frame.stream
+
+let process_ack t ranges =
+  let in_ranges pn = List.exists (fun (lo, hi) -> pn >= lo && pn <= hi) ranges in
+  let newly =
+    Hashtbl.fold
+      (fun _ p acc -> if (not p.acked) && in_ranges p.pn then p :: acc else acc)
+      t.sent []
+  in
+  if newly <> [] then begin
+    let largest = List.fold_left (fun acc p -> max acc p.pn) (-1) newly in
+    let total = List.fold_left (fun acc p -> acc + p.payload) 0 newly in
+    List.iter
+      (fun p ->
+        p.acked <- true;
+        t.inflight <- max 0 (t.inflight - p.payload);
+        Hashtbl.remove t.sent p.pn;
+        Hashtbl.remove t.wire (t.dir, p.pn))
+      newly;
+    t.largest_acked <- max t.largest_acked largest;
+    Rtt.reset_backoff t.rtt;
+    (* RTT sample from the largest newly-acked packet. *)
+    let sample =
+      List.fold_left
+        (fun acc p -> if p.pn = largest then Some (now t -. p.sent_at) else acc)
+        None newly
+    in
+    (match sample with Some s -> Rtt.observe t.rtt s | None -> ());
+    let rtt_for_cc =
+      match sample with Some s -> s | None -> Option.value ~default:0.1 (Rtt.srtt t.rtt)
+    in
+    t.cc.Cc.on_ack ~now:(now t) ~acked:total ~rtt:rtt_for_cc ~inflight:t.inflight;
+    (* Packet-number threshold loss detection. *)
+    let threshold = t.largest_acked - loss_threshold in
+    let lost =
+      Hashtbl.fold
+        (fun _ p acc -> if (not p.acked) && p.pn <= threshold then p :: acc else acc)
+        t.sent []
+    in
+    if lost <> [] then begin
+      List.iter (mark_lost t) lost;
+      t.cc.Cc.on_loss ~now:(now t)
+    end;
+    if t.inflight > 0 then arm_pto t
+    else t.pto_timer <- cancel_timer t t.pto_timer;
+    try_send t
+  end
+
+let receive t (p : Packet.t) =
+  match Hashtbl.find_opt t.wire (p.Packet.dir, p.Packet.seq) with
+  | None -> ()  (* metadata already collected (duplicate) or padding-only cleanup *)
+  | Some frames ->
+      t.received <- insert_range t.received p.Packet.seq;
+      let ack_eliciting = List.exists Frame.is_ack_eliciting frames in
+      List.iter
+        (fun frame ->
+          match frame with
+          | Frame.Stream chunk -> process_stream_chunk t chunk
+          | Frame.Ack { ranges } -> process_ack t ranges
+          | Frame.Padding _ | Frame.Ping -> ())
+        frames;
+      if ack_eliciting then begin
+        t.pkts_since_ack <- t.pkts_since_ack + 1;
+        if t.pkts_since_ack >= t.config.Config.ack_every then
+          if has_data t then begin
+            (* Piggyback the ACK on outgoing data. *)
+            t.ack_pending <- true;
+            try_send t;
+            if t.ack_pending then send_ack_now t
+          end
+          else send_ack_now t
+        else begin
+          t.ack_pending <- true;
+          if t.ack_timer = None then
+            t.ack_timer <-
+              Some
+                (Engine.schedule t.engine ~delay:max_ack_delay (fun () ->
+                     t.ack_timer <- None;
+                     if t.ack_pending then send_ack_now t))
+        end
+      end

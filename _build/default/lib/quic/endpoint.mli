@@ -1,0 +1,81 @@
+(** One side of a QUIC connection.
+
+    Figure 1's third stack organization: QUIC provides the stream
+    abstraction and makes the datagram-sizing, pacing and scheduling
+    decisions itself (in the library), handing UDP datagrams to the kernel.
+    Section 2.3 argues the application therefore has no more control over
+    the final packet sequence than with TCP — and with UDP GSO/USO offload
+    the segmentation behaviour converges on TLS/TCP's.  This endpoint
+    reproduces those decision points and exposes the same Stob hook
+    ({!Stob_tcp.Hooks.t}): the decision triple is (GSO burst bytes,
+    datagram payload size, earliest departure).
+
+    Model notes: packet-number loss detection with ACK ranges and a
+    threshold of 3, a PTO probe timer, reassembling streams, and the same
+    congestion-controller interface as TCP (Reno/CUBIC/BBR all plug in).
+    Flow-control credit is modelled as unbounded (the experiments never
+    exercise backpressure); handshake flights travel as CRYPTO-like data on
+    reserved streams 0 (each side's flight) and 2 (client finished). *)
+
+type t
+
+val default_config : Stob_tcp.Config.t
+(** TCP's config record reused with QUIC framing: 1350-byte datagram
+    payloads, 43 bytes of IP+UDP+QUIC header, 64 KiB GSO bursts. *)
+
+val create :
+  engine:Stob_sim.Engine.t ->
+  config:Stob_tcp.Config.t ->
+  cc:Stob_tcp.Cc.t ->
+  flow:int ->
+  dir:Stob_net.Packet.direction ->
+  wire:(Stob_net.Packet.direction * int, Frame.t list) Hashtbl.t ->
+  ?cpu:Stob_sim.Cpu.t * Stob_tcp.Cpu_costs.t ->
+  ?hooks:Stob_tcp.Hooks.t ->
+  tx:(Stob_net.Packet.t array -> unit) ->
+  unit ->
+  t
+(** [wire] is the shared frame table both endpoints use to attach frame
+    metadata to packet numbers on the wire (the simulator's stand-in for
+    packet contents — see Connection). *)
+
+(** {1 Lifecycle} *)
+
+val connect : t -> ?crypto_bytes:int -> flight_bytes:int -> unit -> unit
+(** Client active open: sends its Initial flight (padded to 1200 B) and
+    expects a [flight_bytes] handshake flight back. *)
+
+val listen : t -> flight_bytes:int -> unit
+(** Server passive open with the size of its handshake flight (certificate
+    chain — the site-characteristic bytes). *)
+
+val established : t -> bool
+val set_on_established : t -> (unit -> unit) -> unit
+
+(** {1 Streams} *)
+
+val send_stream : t -> stream:int -> ?fin:bool -> int -> unit
+(** Queue bytes on a stream (ids >= 4 for application data). *)
+
+val set_on_stream : t -> (stream:int -> int -> unit) -> unit
+(** In-order delivery callback: [stream, bytes]. *)
+
+val set_on_stream_fin : t -> (stream:int -> unit) -> unit
+
+val send_padding_datagram : t -> int -> unit
+(** Emit a PADDING-only datagram (defense dummy traffic); not
+    acknowledged. *)
+
+(** {1 Stob / path interface} *)
+
+val set_hooks : t -> Stob_tcp.Hooks.t -> unit
+val cc : t -> Stob_tcp.Cc.t
+val receive : t -> Stob_net.Packet.t -> unit
+
+(** {1 Introspection} *)
+
+val inflight : t -> int
+val packets_sent : t -> int
+val datagrams_sent : t -> int
+val retransmitted_chunks : t -> int
+val srtt : t -> float option

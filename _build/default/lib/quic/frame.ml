@@ -1,0 +1,22 @@
+type stream_chunk = { stream : int; offset : int; length : int; fin : bool }
+
+type t = Stream of stream_chunk | Ack of { ranges : (int * int) list } | Padding of int | Ping
+
+(* Frame header estimates: type byte + varint fields. *)
+let wire_bytes = function
+  | Stream c -> 8 + c.length  (* type + stream id + offset + length varints *)
+  | Ack { ranges } -> 8 + (4 * List.length ranges)
+  | Padding n -> n
+  | Ping -> 1
+
+let is_ack_eliciting = function Ack _ -> false | Stream _ | Padding _ | Ping -> true
+
+let pp fmt = function
+  | Stream c ->
+      Format.fprintf fmt "STREAM(%d off=%d len=%d%s)" c.stream c.offset c.length
+        (if c.fin then " FIN" else "")
+  | Ack { ranges } ->
+      Format.fprintf fmt "ACK(%s)"
+        (String.concat "," (List.map (fun (lo, hi) -> Printf.sprintf "%d-%d" lo hi) ranges))
+  | Padding n -> Format.fprintf fmt "PADDING(%d)" n
+  | Ping -> Format.pp_print_string fmt "PING"

@@ -1,0 +1,64 @@
+type event = { callback : unit -> unit; mutable cancelled : bool }
+
+type event_id = event
+
+type t = {
+  queue : event Event_queue.t;
+  mutable clock : float;
+  mutable live : int;
+  mutable processed : int;
+}
+
+let create () = { queue = Event_queue.create (); clock = 0.0; live = 0; processed = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  let time = if time < t.clock then t.clock else time in
+  let ev = { callback = f; cancelled = false } in
+  Event_queue.push t.queue ~time ev;
+  t.live <- t.live + 1;
+  ev
+
+let schedule t ~delay f =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  schedule_at t ~time:(t.clock +. delay) f
+
+let cancel t ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let rec step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, ev) ->
+      (* Cancelled events stay in the heap until popped; skip through them so
+         that [step] reports whether real work happened. *)
+      if ev.cancelled then step t
+      else begin
+        t.clock <- time;
+        t.live <- t.live - 1;
+        t.processed <- t.processed + 1;
+        ev.callback ();
+        true
+      end
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+      let continue = ref true in
+      while !continue do
+        match Event_queue.peek t.queue with
+        | None -> continue := false
+        | Some (time, ev) ->
+            if ev.cancelled then ignore (Event_queue.pop t.queue)
+            else if time > limit then continue := false
+            else ignore (step t)
+      done;
+      if t.clock < limit then t.clock <- limit
+
+let pending t = t.live
+let events_processed t = t.processed

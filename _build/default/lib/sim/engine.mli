@@ -1,0 +1,43 @@
+(** The discrete-event simulation engine.
+
+    A simulation is a set of callbacks scheduled on a virtual clock.  The
+    engine pops the earliest event, advances the clock to its timestamp and
+    runs its callback, which may schedule further events.  All simulated
+    subsystems (links, TCP timers, the CPU model, page-load drivers) share
+    one engine, so cross-subsystem causality is exact. *)
+
+type t
+
+type event_id
+(** Handle for cancellation (e.g., a retransmission timer that an ACK
+    disarms). *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> event_id
+(** [schedule t ~delay f] runs [f] at [now t +. delay].  A negative delay is
+    clamped to zero (fires "immediately", after already-queued events for the
+    current instant). *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> event_id
+(** Absolute-time variant.  Times before [now] are clamped to [now]. *)
+
+val cancel : t -> event_id -> unit
+(** Disarm an event; cancelling an already-fired or cancelled event is a
+    no-op. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue.  With [~until], stops once the next event lies
+    strictly beyond [until] and sets the clock to [until]. *)
+
+val step : t -> bool
+(** Run exactly one event; [false] when the queue was empty. *)
+
+val pending : t -> int
+(** Number of scheduled (non-cancelled) events. *)
+
+val events_processed : t -> int
+(** Total callbacks executed so far (for engine-level sanity checks). *)

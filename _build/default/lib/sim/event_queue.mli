@@ -1,0 +1,21 @@
+(** Min-heap priority queue keyed by [(time, sequence)].
+
+    The sequence number breaks ties so that events scheduled for the same
+    instant fire in insertion order — a property the TCP model relies on
+    (e.g., an ACK processed before the timer armed after it). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Insert an element with priority [time]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest element, or [None] when empty. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Earliest element without removing it. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool

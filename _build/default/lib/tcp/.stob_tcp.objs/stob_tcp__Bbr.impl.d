@@ -1,0 +1,1 @@
+lib/tcp/bbr.ml: Array Cc Config Float List

@@ -1,0 +1,1 @@
+lib/tcp/connection.ml: Config Cubic Endpoint Path Stob_net

@@ -1,0 +1,1 @@
+lib/tcp/connection.mli: Cc Config Cpu_costs Endpoint Hooks Path Stob_sim

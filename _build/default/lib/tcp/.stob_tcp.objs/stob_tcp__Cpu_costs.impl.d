@@ -1,0 +1,1 @@
+lib/tcp/cpu_costs.ml:

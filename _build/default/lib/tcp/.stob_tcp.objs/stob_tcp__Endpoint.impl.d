@@ -1,0 +1,1 @@
+lib/tcp/endpoint.ml: Array Cc Config Cpu_costs Float Hooks List Option Pacer Rtt Stob_net Stob_sim

@@ -1,0 +1,1 @@
+lib/tcp/endpoint.mli: Cc Config Cpu_costs Hooks Stob_net Stob_sim

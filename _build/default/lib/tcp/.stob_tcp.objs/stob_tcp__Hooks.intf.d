@@ -1,0 +1,1 @@
+lib/tcp/hooks.mli: Cc

@@ -1,0 +1,1 @@
+lib/tcp/path.ml: Array Hashtbl Qdisc Stob_net Stob_sim

@@ -1,0 +1,1 @@
+lib/tcp/path.mli: Stob_net Stob_sim

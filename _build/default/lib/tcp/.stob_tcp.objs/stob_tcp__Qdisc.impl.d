@@ -1,0 +1,1 @@
+lib/tcp/qdisc.ml: Hashtbl Option Queue

@@ -1,0 +1,15 @@
+(** BBR congestion control (v1, simplified).
+
+    Model-based control: estimates the bottleneck bandwidth (windowed max of
+    per-ACK delivery-rate samples) and the path's minimum RTT, then paces at
+    [gain * btl_bw] with a window of [2 * BDP].  Phases: STARTUP (gain 2.885
+    until bandwidth stops growing), DRAIN (inverse gain until in-flight fits
+    the BDP), then PROBE_BW's eight-step gain cycle.  PROBE_RTT is omitted —
+    our experiments are far shorter than its 10 s trigger; the omission is
+    noted in DESIGN.md.
+
+    BBR matters to this reproduction because it is the paper's canonical
+    example (Sections 4.2 and 5.1) of a CCA whose pacing is load-bearing and
+    with which Stob policies can conflict. *)
+
+val make : Cc.factory

@@ -1,0 +1,38 @@
+(** TCP endpoint configuration.
+
+    Defaults mirror a contemporary Linux sender: MSS 1448 (1500 MTU minus
+    headers and timestamps), initial window 10 segments, 64 KB maximum TSO
+    size, fq pacing targeting roughly one segment per millisecond, and a TCP
+    small queues limit bounding in-stack buffering. *)
+
+type t = {
+  mss : int;  (** Maximum payload per packet, bytes. *)
+  header_bytes : int;  (** IP + TCP header bytes per packet. *)
+  initial_cwnd_pkts : int;  (** Initial congestion window in segments. *)
+  initial_ssthresh : int;  (** Initial slow-start threshold, bytes. *)
+  rto_min : float;  (** Lower bound on the retransmission timeout, seconds. *)
+  rto_init : float;  (** RTO before the first RTT sample, seconds. *)
+  ack_every : int;  (** Send an ACK for every n-th data packet. *)
+  delayed_ack : float;  (** Delayed-ACK timer, seconds; [0.] disables it. *)
+  rcv_wnd : int;  (** Advertised receive window, bytes. *)
+  snd_buf : int;  (** Socket send buffer, bytes. *)
+  tso_max_bytes : int;  (** Largest transport segment handed to the NIC. *)
+  tso_min_bytes : int;  (** Smallest TSO segment the autosizer will pick. *)
+  pacing : bool;  (** Enable fq-style pacing of segment departures. *)
+  pacing_segment_interval : float;
+      (** TSO autosizing target: pick segment sizes so one segment departs
+          roughly every this many seconds at the current pacing rate (the
+          Linux behaviour that shrinks TSO on long-RTT paths). *)
+  tsq_limit_bytes : int;  (** TCP small queues: max unsent bytes in stack. *)
+}
+
+val default : t
+
+val packet_overhead : t -> int
+(** Alias for [header_bytes]. *)
+
+val tso_autosize : t -> pacing_rate_bps:float -> int
+(** The stack's TSO sizing decision: segment bytes such that segments depart
+    every [pacing_segment_interval] at [pacing_rate_bps], clamped to
+    [\[tso_min_bytes, tso_max_bytes\]] and rounded down to a whole number of
+    MSS-sized packets (at least one). *)

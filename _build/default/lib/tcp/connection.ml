@@ -1,0 +1,27 @@
+module Packet = Stob_net.Packet
+
+type t = { client : Endpoint.t; server : Endpoint.t; flow : int }
+
+let create ~engine ~path ~flow ?(client_config = Config.default) ?(server_config = Config.default)
+    ?(cc = Cubic.make) ?server_cpu ?server_hooks () =
+  let tx packets = Path.send path packets in
+  let client =
+    Endpoint.create ~engine ~config:client_config ~cc:(cc client_config) ~flow
+      ~dir:Packet.Outgoing ~tx ()
+  in
+  let server =
+    Endpoint.create ~engine ~config:server_config ~cc:(cc server_config) ~flow
+      ~dir:Packet.Incoming ?cpu:server_cpu ?hooks:server_hooks ~tx ()
+  in
+  Path.register path ~flow
+    ~client:(fun p -> Endpoint.receive client p)
+    ~server:(fun p -> Endpoint.receive server p);
+  Path.set_serialized_callback path ~flow ~dir:Packet.Outgoing (Endpoint.notify_serialized client);
+  Path.set_serialized_callback path ~flow ~dir:Packet.Incoming (Endpoint.notify_serialized server);
+  { client; server; flow }
+
+let client t = t.client
+let server t = t.server
+let flow t = t.flow
+let open_ t = Endpoint.connect t.client
+let on_established t f = Endpoint.set_on_established t.client f

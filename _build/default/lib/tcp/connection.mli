@@ -1,0 +1,33 @@
+(** A full client-server TCP connection wired over a {!Path}.
+
+    Convenience assembly: creates both endpoints with their congestion
+    controllers, registers them on the path's demux and TSQ notifications,
+    and runs the three-way handshake.  The web workload and the experiment
+    harnesses build on this. *)
+
+type t
+
+val create :
+  engine:Stob_sim.Engine.t ->
+  path:Path.t ->
+  flow:int ->
+  ?client_config:Config.t ->
+  ?server_config:Config.t ->
+  ?cc:Cc.factory ->
+  ?server_cpu:Stob_sim.Cpu.t * Cpu_costs.t ->
+  ?server_hooks:Hooks.t ->
+  unit ->
+  t
+(** Both endpoints default to {!Config.default} and CUBIC.  [server_cpu]
+    and [server_hooks] apply to the server endpoint — the sender a
+    server-side Stob deployment controls. *)
+
+val client : t -> Endpoint.t
+val server : t -> Endpoint.t
+val flow : t -> int
+
+val open_ : t -> unit
+(** Start the client's active open (SYN). *)
+
+val on_established : t -> (unit -> unit) -> unit
+(** Fires when the client side completes the handshake. *)

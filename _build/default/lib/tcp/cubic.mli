@@ -1,0 +1,8 @@
+(** CUBIC congestion control (RFC 9438, simplified).
+
+    Window growth follows the cubic function W(t) = C*(t - K)^3 + W_max
+    anchored at the window size before the last loss, with the TCP-friendly
+    (Reno-tracking) lower bound.  Slow start and loss/RTO reactions follow
+    the standard scheme (beta = 0.7). *)
+
+val make : Cc.factory

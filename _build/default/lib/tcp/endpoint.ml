@@ -1,0 +1,576 @@
+module Packet = Stob_net.Packet
+module Engine = Stob_sim.Engine
+module Cpu = Stob_sim.Cpu
+
+type conn_state = Closed | Syn_sent | Syn_rcvd | Established_s
+
+(* Sent-segment log entries used for RTT sampling (Karn's rule applied via
+   [karn_floor]). *)
+type sent_record = { end_seq : int; sent_at : float }
+
+type t = {
+  engine : Engine.t;
+  config : Config.t;
+  cc : Cc.t;
+  flow : int;
+  dir : Packet.direction;
+  cpu : (Cpu.t * Cpu_costs.t) option;
+  mutable hooks : Hooks.t;
+  mutable tx : Packet.t array -> unit;
+  (* --- connection state --- *)
+  mutable state : conn_state;
+  mutable fin_rcvd : bool;
+  mutable fin_acked : bool;
+  (* --- sender --- *)
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable app_queue : int;
+  mutable fin_pending : bool;
+  mutable fin_sent : bool;
+  mutable peer_rwnd : int;
+  mutable dupacks : int;
+  mutable karn_floor : int;
+  mutable sacked : (int * int) list;  (* peer-reported [lo, hi) SACK ranges *)
+  mutable in_recovery : bool;
+  mutable recover_point : int;  (* snd_nxt when recovery began *)
+  mutable rtx_next : int;  (* next hole position to retransmit *)
+  mutable sent_log : sent_record list;  (* newest first *)
+  mutable rto_timer : Engine.event_id option;
+  mutable send_timer : Engine.event_id option;
+  mutable in_stack : int;
+  pacer : Pacer.t;
+  rtt : Rtt.t;
+  (* --- receiver --- *)
+  mutable rcv_nxt : int;
+  mutable ooo : (int * int) list;  (* disjoint sorted [lo, hi) intervals *)
+  mutable unacked_pkts : int;
+  mutable delack_timer : Engine.event_id option;
+  (* --- callbacks --- *)
+  mutable on_established : unit -> unit;
+  mutable on_receive : int -> unit;
+  mutable on_fin : unit -> unit;
+  (* --- stats --- *)
+  mutable retransmissions : int;
+  mutable segments_sent : int;
+  mutable packets_sent : int;
+}
+
+let create ~engine ~config ~cc ~flow ~dir ?cpu ?(hooks = Hooks.default) ~tx () =
+  {
+    engine;
+    config;
+    cc;
+    flow;
+    dir;
+    cpu;
+    hooks;
+    tx;
+    state = Closed;
+    fin_rcvd = false;
+    fin_acked = false;
+    snd_una = 0;
+    snd_nxt = 0;
+    app_queue = 0;
+    fin_pending = false;
+    fin_sent = false;
+    peer_rwnd = config.Config.rcv_wnd;
+    dupacks = 0;
+    karn_floor = 0;
+    sacked = [];
+    in_recovery = false;
+    recover_point = 0;
+    rtx_next = 0;
+    sent_log = [];
+    rto_timer = None;
+    send_timer = None;
+    in_stack = 0;
+    pacer = Pacer.create ();
+    rtt = Rtt.create config;
+    rcv_nxt = 0;
+    ooo = [];
+    unacked_pkts = 0;
+    delack_timer = None;
+    on_established = (fun () -> ());
+    on_receive = (fun _ -> ());
+    on_fin = (fun () -> ());
+    retransmissions = 0;
+    segments_sent = 0;
+    packets_sent = 0;
+  }
+
+let established t = t.state = Established_s
+let closed t = t.fin_acked && t.fin_rcvd
+let inflight t = t.snd_nxt - t.snd_una
+let in_stack t = t.in_stack
+let unsent t = t.app_queue
+let bytes_acked t = t.snd_una
+let retransmissions t = t.retransmissions
+let segments_sent t = t.segments_sent
+let packets_sent t = t.packets_sent
+let srtt t = Rtt.srtt t.rtt
+let set_on_established t f = t.on_established <- f
+let set_on_receive t f = t.on_receive <- f
+let set_on_fin t f = t.on_fin <- f
+let set_hooks t h = t.hooks <- h
+let hooks t = t.hooks
+let cc t = t.cc
+
+let now t = Engine.now t.engine
+
+(* ------------------------------------------------------------------ *)
+(* Transmission helpers                                                 *)
+
+let transmit_burst t packets =
+  t.packets_sent <- t.packets_sent + Array.length packets;
+  t.tx packets
+
+(* Data segments pass through the CPU model; control packets (SYN, pure
+   ACKs) are treated as free — they are not the bottleneck Figure 3 is
+   about.  The caller has already charged the TSQ budget. *)
+let transmit_segment t packets =
+  t.segments_sent <- t.segments_sent + 1;
+  match t.cpu with
+  | None -> transmit_burst t packets
+  | Some (cpu, costs) ->
+      let wire = Array.fold_left (fun acc p -> acc + Packet.wire_size p) 0 packets in
+      let cost = Cpu_costs.segment_cost costs ~packets:(Array.length packets) ~bytes:wire in
+      Cpu.submit cpu ~cost (fun () -> transmit_burst t packets)
+
+(* Commit a built segment: charge the TSQ budget and either hand it to the
+   CPU/NIC now or park it until its fq departure timestamp.  Like a real fq
+   qdisc, the segment is already immutable — delaying it does not re-open
+   the sizing decision. *)
+let commit_segment t ~departure packets =
+  let wire = Array.fold_left (fun acc p -> acc + Packet.wire_size p) 0 packets in
+  t.in_stack <- t.in_stack + wire;
+  if departure <= now t then transmit_segment t packets
+  else ignore (Engine.schedule_at t.engine ~time:departure (fun () -> transmit_segment t packets))
+
+let send_control t packet = transmit_burst t [| packet |]
+
+let send_pure_ack t =
+  (match t.delack_timer with
+  | Some ev ->
+      Engine.cancel t.engine ev;
+      t.delack_timer <- None
+  | None -> ());
+  t.unacked_pkts <- 0;
+  let rec take n = function [] -> [] | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest in
+  send_control t
+    (Packet.pure_ack ~flow:t.flow ~dir:t.dir ~seq:t.snd_nxt ~ack:t.rcv_nxt ~sack:(take 3 t.ooo)
+       ~rwnd:t.config.Config.rcv_wnd ())
+
+(* Insert [lo, hi) into a sorted disjoint interval list, coalescing
+   overlapping and adjacent intervals. *)
+let insert_interval intervals lo hi =
+  let rec go acc lo hi = function
+    | [] -> List.rev ((lo, hi) :: acc)
+    | (l, h) :: rest when h < lo -> go ((l, h) :: acc) lo hi rest
+    | (l, h) :: rest when l > hi -> List.rev_append acc ((lo, hi) :: (l, h) :: rest)
+    | (l, h) :: rest -> go acc (min l lo) (max h hi) rest
+  in
+  go [] lo hi intervals
+
+(* ------------------------------------------------------------------ *)
+(* SACK scoreboard and hole retransmission                              *)
+
+let merge_sack t blocks =
+  List.iter (fun (lo, hi) -> if hi > lo then t.sacked <- insert_interval t.sacked lo hi) blocks;
+  (* Drop ranges cumulative ACKs have overtaken. *)
+  t.sacked <-
+    List.filter_map
+      (fun (lo, hi) -> if hi <= t.snd_una then None else Some (max lo t.snd_una, hi))
+      t.sacked
+
+let sacked_bytes t = List.fold_left (fun acc (lo, hi) -> acc + (hi - lo)) 0 t.sacked
+
+(* RFC 6675-style pipe budget: how many MSS-sized retransmissions fit under
+   the congestion window.  Bytes below the highest SACKed sequence that are
+   not SACKed are treated as lost (they have left the pipe); what remains in
+   flight is essentially everything above the highest SACK block. *)
+let rtx_budget t =
+  let top = List.fold_left (fun acc (_, hi) -> max acc hi) t.snd_una t.sacked in
+  let pipe = max 0 (t.snd_nxt - top) in
+  let budget = (t.cc.Cc.cwnd () - pipe) / max 1 t.config.Config.mss in
+  min 45 (max 1 budget)
+
+(* Retransmit up to [limit] MSS-sized chunks of un-SACKed holes below the
+   recovery point, resuming where the previous call stopped. *)
+let retransmit_holes t ~limit =
+  let rec go pos sacked remaining =
+    if remaining > 0 && pos < t.recover_point then
+      match sacked with
+      | (lo, hi) :: rest when pos >= lo -> go (max pos hi) rest remaining
+      | _ ->
+          let cap =
+            match sacked with (lo, _) :: _ -> min lo t.recover_point | [] -> t.recover_point
+          in
+          if cap > pos then begin
+            let fin_here = t.fin_sent && pos = t.snd_nxt - 1 in
+            let payload = if fin_here then 0 else min t.config.Config.mss (cap - pos) in
+            t.retransmissions <- t.retransmissions + 1;
+            t.karn_floor <- t.snd_nxt;
+            let pkt =
+              Packet.data ~flow:t.flow ~dir:t.dir ~seq:pos ~ack:t.rcv_nxt ~payload ~fin:fin_here
+                ~rwnd:t.config.Config.rcv_wnd ()
+            in
+            transmit_segment t [| pkt |];
+            let advance = max 1 payload in
+            t.rtx_next <- pos + advance;
+            go (pos + advance) sacked (remaining - 1)
+          end
+  in
+  go (max t.rtx_next t.snd_una) t.sacked limit
+
+(* ------------------------------------------------------------------ *)
+(* RTO timer                                                            *)
+
+let cancel_rto t =
+  match t.rto_timer with
+  | Some ev ->
+      Engine.cancel t.engine ev;
+      t.rto_timer <- None
+  | None -> ()
+
+let rec arm_rto t =
+  cancel_rto t;
+  let delay = Rtt.rto t.rtt in
+  t.rto_timer <- Some (Engine.schedule t.engine ~delay (fun () -> handle_rto t))
+
+and handle_rto t =
+  t.rto_timer <- None;
+  if inflight t > 0 || (t.state = Syn_sent || t.state = Syn_rcvd) then begin
+    Rtt.backoff t.rtt;
+    t.cc.Cc.on_rto ~now:(now t);
+    (match t.state with
+    | Syn_sent | Syn_rcvd -> retransmit_head t
+    | Established_s | Closed ->
+        (* Re-enter recovery over the whole outstanding window: subsequent
+           ACKs clock out hole retransmissions at slow-start pace instead
+           of one segment per timeout. *)
+        t.in_recovery <- true;
+        t.recover_point <- t.snd_nxt;
+        t.rtx_next <- t.snd_una;
+        retransmit_holes t ~limit:1);
+    arm_rto t
+  end
+
+(* Go-back-N style recovery: resend one MSS (or the SYN) from snd_una. *)
+and retransmit_head t =
+  t.retransmissions <- t.retransmissions + 1;
+  t.karn_floor <- t.snd_nxt;
+  match t.state with
+  | Syn_sent ->
+      send_control t (Packet.syn ~flow:t.flow ~dir:t.dir ~seq:0 ~rwnd:t.config.Config.rcv_wnd ())
+  | Syn_rcvd ->
+      send_control t
+        (Packet.syn ~flow:t.flow ~dir:t.dir ~seq:0 ~ack:(Some t.rcv_nxt)
+           ~rwnd:t.config.Config.rcv_wnd ())
+  | Established_s | Closed ->
+      let outstanding = t.snd_nxt - t.snd_una in
+      if outstanding > 0 then begin
+        (* The FIN occupies the last sequence number when sent. *)
+        let fin_here = t.fin_sent && t.snd_una = t.snd_nxt - 1 && outstanding = 1 in
+        let payload = if fin_here then 0 else min t.config.Config.mss outstanding in
+        let pkt =
+          Packet.data ~flow:t.flow ~dir:t.dir ~seq:t.snd_una ~ack:t.rcv_nxt ~payload
+            ~fin:fin_here ~rwnd:t.config.Config.rcv_wnd ()
+        in
+        transmit_segment t [| pkt |]
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Sender                                                               *)
+
+(* Build the packets of one TSO segment.  [payload] > 0, or a bare FIN. *)
+let build_segment t ~payload ~packet_payload ~fin =
+  let rec chunks acc seq remaining =
+    if remaining <= 0 then List.rev acc
+    else
+      let take = min packet_payload remaining in
+      let last = remaining - take <= 0 in
+      let pkt =
+        Packet.data ~flow:t.flow ~dir:t.dir ~seq ~ack:t.rcv_nxt ~payload:take
+          ~fin:(fin && last) ~rwnd:t.config.Config.rcv_wnd ()
+      in
+      chunks (pkt :: acc) (seq + take) (remaining - take)
+  in
+  if payload = 0 && fin then
+    [|
+      Packet.data ~flow:t.flow ~dir:t.dir ~seq:t.snd_nxt ~ack:t.rcv_nxt ~payload:0 ~fin:true
+        ~rwnd:t.config.Config.rcv_wnd ();
+    |]
+  else Array.of_list (chunks [] t.snd_nxt payload)
+
+let rec try_send t =
+  if t.state = Established_s then begin
+    let window = min (t.cc.Cc.cwnd ()) t.peer_rwnd in
+    let inflight_now = inflight t in
+    let available_window = window - inflight_now in
+    let want_fin = t.fin_pending && not t.fin_sent in
+    if (t.app_queue > 0 || want_fin) && available_window > 0 && t.in_stack < t.config.Config.tsq_limit_bytes
+    then begin
+      let pacing_rate = t.cc.Cc.pacing_rate () in
+      let stack_tso = Config.tso_autosize t.config ~pacing_rate_bps:pacing_rate in
+      let payload_budget = min stack_tso (min available_window t.app_queue) in
+      (* Sender-side silly-window avoidance: with data outstanding, wait for
+         ACKs rather than dribbling sub-MSS segments. *)
+      let sws_blocked =
+        payload_budget < t.config.Config.mss && inflight_now > 0 && t.app_queue > payload_budget
+      in
+      if not sws_blocked then begin
+        let fin_now = want_fin && t.app_queue <= payload_budget in
+        if payload_budget > 0 || fin_now then begin
+          let departure = Pacer.next_departure t.pacer ~now:(now t) in
+          if departure > now t then begin
+            (* The stack's own pacing says wait: wake up at the fq departure
+               time and decide then.  The hook is only consulted for
+               decisions the stack is about to commit. *)
+            if t.send_timer = None then
+              t.send_timer <-
+                Some
+                  (Engine.schedule_at t.engine ~time:departure (fun () ->
+                       t.send_timer <- None;
+                       try_send t))
+          end
+          else begin
+            let stack_decision =
+              {
+                Hooks.tso_bytes = max 1 payload_budget;
+                packet_payload = t.config.Config.mss;
+                earliest_departure = departure;
+              }
+            in
+            let proposed =
+              t.hooks.Hooks.on_segment ~now:(now t) ~flow:t.flow ~phase:(t.cc.Cc.phase ())
+                stack_decision
+            in
+            let decision = Hooks.clamp ~stack:stack_decision proposed in
+            let payload = min decision.Hooks.tso_bytes payload_budget in
+            let fin_here = fin_now && payload = t.app_queue in
+            let packets =
+              build_segment t ~payload ~packet_payload:decision.Hooks.packet_payload ~fin:fin_here
+            in
+            let release = decision.Hooks.earliest_departure in
+            t.app_queue <- t.app_queue - payload;
+            t.snd_nxt <- t.snd_nxt + payload + (if fin_here then 1 else 0);
+            if fin_here then t.fin_sent <- true;
+            Pacer.commit t.pacer ~departure:release ~rate_bps:pacing_rate ~bytes:payload;
+            t.sent_log <- { end_seq = t.snd_nxt; sent_at = release } :: t.sent_log;
+            if t.rto_timer = None then arm_rto t;
+            commit_segment t ~departure:release packets;
+            try_send t
+          end
+        end
+      end
+    end
+  end
+
+let write t n =
+  if n <= 0 then invalid_arg "Endpoint.write: byte count must be positive";
+  if t.fin_pending then invalid_arg "Endpoint.write: connection is closing";
+  t.app_queue <- t.app_queue + n;
+  try_send t
+
+let close t =
+  if not t.fin_pending then begin
+    t.fin_pending <- true;
+    try_send t
+  end
+
+let send_dummy t n =
+  if n <= 0 then invalid_arg "Endpoint.send_dummy: byte count must be positive";
+  let pkt =
+    Packet.data ~flow:t.flow ~dir:t.dir ~seq:t.snd_nxt ~ack:t.rcv_nxt
+      ~payload:(min n t.config.Config.mss) ~dummy:true ~rwnd:t.config.Config.rcv_wnd ()
+  in
+  (* Dummies respect pacing budget so padding cannot out-run the CCA. *)
+  let rate = t.cc.Cc.pacing_rate () in
+  let departure = Pacer.next_departure t.pacer ~now:(now t) in
+  commit_segment t ~departure [| pkt |];
+  Pacer.commit t.pacer ~departure ~rate_bps:rate ~bytes:pkt.Packet.payload
+
+let connect t =
+  if t.state <> Closed then invalid_arg "Endpoint.connect: not closed";
+  t.state <- Syn_sent;
+  t.sent_log <- [ { end_seq = 1; sent_at = now t } ];
+  send_control t (Packet.syn ~flow:t.flow ~dir:t.dir ~seq:0 ~rwnd:t.config.Config.rcv_wnd ());
+  arm_rto t
+
+(* Only packets that passed through [transmit_segment] (data, FIN, dummies)
+   were charged to the TSQ budget; pure ACKs and SYNs were not. *)
+let notify_serialized t (p : Packet.t) =
+  if (p.Packet.payload > 0 || p.Packet.fin || p.Packet.dummy) && t.in_stack > 0 then begin
+    t.in_stack <- max 0 (t.in_stack - Packet.wire_size p);
+    try_send t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Receiver                                                             *)
+
+let schedule_ack t =
+  t.unacked_pkts <- t.unacked_pkts + 1;
+  if t.unacked_pkts >= t.config.Config.ack_every then send_pure_ack t
+  else if t.delack_timer = None then
+    t.delack_timer <-
+      Some
+        (Engine.schedule t.engine ~delay:(Float.max t.config.Config.delayed_ack 1e-4) (fun () ->
+             t.delack_timer <- None;
+             if t.unacked_pkts > 0 then send_pure_ack t))
+
+let deliver_in_order t seq_end payload_delivered =
+  t.rcv_nxt <- seq_end;
+  if payload_delivered > 0 then t.on_receive payload_delivered;
+  (* Pull now-contiguous out-of-order data. *)
+  let rec drain () =
+    match t.ooo with
+    | (lo, hi) :: rest when lo <= t.rcv_nxt ->
+        let new_bytes = max 0 (hi - t.rcv_nxt) in
+        t.ooo <- rest;
+        t.rcv_nxt <- max t.rcv_nxt hi;
+        if new_bytes > 0 then t.on_receive new_bytes;
+        drain ()
+    | _ -> ()
+  in
+  drain ()
+
+let process_ack t (p : Packet.t) =
+  if p.Packet.is_ack && t.state = Established_s then begin
+    t.peer_rwnd <- max p.Packet.rwnd 1;
+    if p.Packet.ack > t.snd_una then begin
+      let acked = p.Packet.ack - t.snd_una in
+      t.snd_una <- p.Packet.ack;
+      if t.rtx_next < t.snd_una then t.rtx_next <- t.snd_una;
+      merge_sack t p.Packet.sack;
+      t.dupacks <- 0;
+      (* Recovery bookkeeping: a partial ACK (below the recovery point)
+         means the next hole was lost too — retransmit it now (NewReno /
+         RFC 6675 behaviour) instead of waiting for an RTO. *)
+      if t.in_recovery then begin
+        if t.snd_una >= t.recover_point then t.in_recovery <- false
+        else retransmit_holes t ~limit:(rtx_budget t)
+      end;
+      Rtt.reset_backoff t.rtt;
+      if t.fin_sent && t.snd_una >= t.snd_nxt then t.fin_acked <- true;
+      (* RTT sample from the newest fully-acked, never-retransmitted
+         segment. *)
+      let sample = ref None in
+      t.sent_log <-
+        List.filter
+          (fun r ->
+            if r.end_seq <= t.snd_una then begin
+              if r.end_seq > t.karn_floor && !sample = None then
+                sample := Some (now t -. r.sent_at);
+              false
+            end
+            else true)
+          t.sent_log;
+      (match !sample with Some s -> Rtt.observe t.rtt s | None -> ());
+      let rtt_for_cc =
+        match !sample with
+        | Some s -> s
+        | None -> Option.value ~default:0.1 (Rtt.srtt t.rtt)
+      in
+      t.cc.Cc.on_ack ~now:(now t) ~acked ~rtt:rtt_for_cc ~inflight:(inflight t);
+      if inflight t > 0 then arm_rto t else cancel_rto t;
+      try_send t
+    end
+    else if p.Packet.ack = t.snd_una && inflight t > 0 && p.Packet.payload = 0 && not p.Packet.syn
+    then begin
+      t.dupacks <- t.dupacks + 1;
+      merge_sack t p.Packet.sack;
+      if
+        (not t.in_recovery)
+        && (t.dupacks >= 3 || sacked_bytes t >= 3 * t.config.Config.mss)
+      then begin
+        (* Enter loss recovery with the SACK scoreboard. *)
+        t.in_recovery <- true;
+        t.recover_point <- t.snd_nxt;
+        t.rtx_next <- t.snd_una;
+        t.cc.Cc.on_loss ~now:(now t);
+        retransmit_holes t ~limit:(rtx_budget t);
+        arm_rto t;
+        try_send t
+      end
+      else if t.in_recovery then
+        (* Each further dupack clocks out more hole retransmissions, up to
+           the pipe budget. *)
+        retransmit_holes t ~limit:(rtx_budget t)
+    end
+  end
+
+let rec receive t (p : Packet.t) =
+  if p.Packet.dummy then ( (* padding: observe and discard; never acknowledged *) )
+  else begin
+    (match (t.state, p.Packet.syn, p.Packet.is_ack) with
+    | Closed, true, false ->
+        (* Passive open: answer SYN with SYN|ACK. *)
+        t.state <- Syn_rcvd;
+        t.rcv_nxt <- 1;
+        t.sent_log <- [ { end_seq = 1; sent_at = now t } ];
+        send_control t
+          (Packet.syn ~flow:t.flow ~dir:t.dir ~seq:0 ~ack:(Some 1) ~rwnd:t.config.Config.rcv_wnd ());
+        arm_rto t
+    | Syn_sent, true, true ->
+        (* SYN|ACK: complete the three-way handshake. *)
+        t.rcv_nxt <- 1;
+        t.snd_una <- 1;
+        t.snd_nxt <- max t.snd_nxt 1;
+        (match t.sent_log with
+        | { end_seq = 1; sent_at } :: _ -> Rtt.observe t.rtt (now t -. sent_at)
+        | _ -> ());
+        t.sent_log <- [];
+        t.peer_rwnd <- max p.Packet.rwnd 1;
+        cancel_rto t;
+        t.state <- Established_s;
+        send_pure_ack t;
+        t.on_established ();
+        try_send t
+    | Syn_rcvd, false, true when p.Packet.ack >= 1 ->
+        (* Final handshake ACK. *)
+        t.snd_una <- max t.snd_una 1;
+        t.snd_nxt <- max t.snd_nxt 1;
+        (match t.sent_log with
+        | { end_seq = 1; sent_at } :: _ -> Rtt.observe t.rtt (now t -. sent_at)
+        | _ -> ());
+        t.sent_log <- [];
+        cancel_rto t;
+        t.state <- Established_s;
+        t.on_established ();
+        process_data t p;
+        try_send t
+    | Syn_rcvd, true, false ->
+        (* Duplicate SYN: retransmit the SYN|ACK. *)
+        send_control t
+          (Packet.syn ~flow:t.flow ~dir:t.dir ~seq:0 ~ack:(Some 1) ~rwnd:t.config.Config.rcv_wnd ())
+    | _ ->
+        process_ack t p;
+        process_data t p)
+  end
+
+and process_data t (p : Packet.t) =
+  if (p.Packet.payload > 0 || p.Packet.fin) && t.state = Established_s then begin
+    let seq_end = Packet.seq_end p in
+    if p.Packet.seq = t.rcv_nxt then begin
+      deliver_in_order t seq_end p.Packet.payload;
+      if p.Packet.fin then begin
+        t.fin_rcvd <- true;
+        t.on_fin ();
+        send_pure_ack t
+      end
+      else schedule_ack t
+    end
+    else if p.Packet.seq > t.rcv_nxt then begin
+      (* Out of order: buffer and emit an immediate duplicate ACK. *)
+      t.ooo <- insert_interval t.ooo p.Packet.seq seq_end;
+      send_pure_ack t
+    end
+    else if seq_end > t.rcv_nxt then begin
+      (* Partial overlap with delivered data (retransmission overshoot). *)
+      deliver_in_order t seq_end (seq_end - t.rcv_nxt);
+      schedule_ack t
+    end
+    else
+      (* Pure duplicate: re-ACK so the sender makes progress. *)
+      send_pure_ack t
+  end

@@ -1,0 +1,93 @@
+(** One side of a TCP connection: sender and receiver machinery.
+
+    The endpoint implements the data-transmission process Figure 1 shades:
+    the send() path (socket buffer, window checks), the transport decisions
+    (segmentation into TSO segments, packetization at MSS, pacing release
+    times from the CCA), loss recovery (RTO and three-dupack fast
+    retransmit), and the receive path (cumulative ACKs with out-of-order
+    reassembly and delayed ACKs).
+
+    Packet transmission is asynchronous, exactly as Section 2.3 describes:
+    data written by the application may be deferred by window or pacing, and
+    segments may be further delayed by the CPU model.  The Stob hook (see
+    {!Hooks}) intercepts the per-segment decision; the endpoint clamps the
+    hook's answer so it can never exceed the stack's own decision. *)
+
+type t
+
+val create :
+  engine:Stob_sim.Engine.t ->
+  config:Config.t ->
+  cc:Cc.t ->
+  flow:int ->
+  dir:Stob_net.Packet.direction ->
+  ?cpu:Stob_sim.Cpu.t * Cpu_costs.t ->
+  ?hooks:Hooks.t ->
+  tx:(Stob_net.Packet.t array -> unit) ->
+  unit ->
+  t
+(** [dir] is the direction of packets this endpoint {e sends}.  [tx] hands a
+    burst (one TSO segment's packets, or a lone control packet) to the path.
+    With [cpu], data segments consume core time before reaching [tx]. *)
+
+(** {1 Connection lifecycle} *)
+
+val connect : t -> unit
+(** Actively open: send SYN.  The peer endpoint answers from its [receive]. *)
+
+val established : t -> bool
+
+val close : t -> unit
+(** Send FIN once queued data drains. *)
+
+val closed : t -> bool
+(** Both FIN sent+acked and peer FIN received. *)
+
+(** {1 Application interface} *)
+
+val write : t -> int -> unit
+(** Queue [n] bytes for transmission (the send() syscall).  Raises if the
+    byte count is not positive or the connection is closing. *)
+
+val send_dummy : t -> int -> unit
+(** Transmit a padding packet of [n] payload bytes.  Dummies consume pacing
+    budget and CPU but no sequence space and are not acknowledged; the
+    receiver discards them.  Used by padding-style defenses. *)
+
+val set_on_established : t -> (unit -> unit) -> unit
+val set_on_receive : t -> (int -> unit) -> unit
+(** Called with byte counts as in-order real payload is delivered. *)
+
+val set_on_fin : t -> (unit -> unit) -> unit
+
+(** {1 Stob interface} *)
+
+val set_hooks : t -> Hooks.t -> unit
+val hooks : t -> Hooks.t
+val cc : t -> Cc.t
+
+(** {1 Path interface} *)
+
+val receive : t -> Stob_net.Packet.t -> unit
+(** Deliver an incoming packet (called by the path demux). *)
+
+val notify_serialized : t -> Stob_net.Packet.t -> unit
+(** A packet this endpoint sent started serialization; data-bearing packets
+    release TCP-small-queues budget. *)
+
+(** {1 Introspection (tests, experiments)} *)
+
+val inflight : t -> int
+(** Unacknowledged bytes in the network. *)
+
+val in_stack : t -> int
+(** Bytes submitted to CPU/NIC but not yet serialized (TSQ accounting). *)
+
+val unsent : t -> int
+(** Application bytes still queued in the socket buffer. *)
+
+val bytes_acked : t -> int
+val retransmissions : t -> int
+val segments_sent : t -> int
+val packets_sent : t -> int
+val srtt : t -> float option

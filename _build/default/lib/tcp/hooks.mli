@@ -1,0 +1,36 @@
+(** The Stob interception point in the stack's transmit path.
+
+    Just before the stack hands a TSO segment to packetization, it has made
+    three decisions: the segment size, the per-packet payload (MSS/PMTU
+    derived), and the earliest departure time (pacing).  The hook receives
+    that decision triple and may return a different one.  The endpoint then
+    {e clamps} the returned decision so it can never be more aggressive than
+    the stack's own (Section 4.2's safety requirement): no larger segment, no
+    larger packet, no earlier departure.
+
+    [stob_core] implements policies against this interface; the default hook
+    is the identity, i.e., an unmodified stack. *)
+
+type decision = {
+  tso_bytes : int;  (** Transport segment bytes handed to the NIC. *)
+  packet_payload : int;  (** Payload bytes per packet after NIC split. *)
+  earliest_departure : float;  (** Absolute time the segment may depart. *)
+}
+
+type t = {
+  on_segment : now:float -> flow:int -> phase:Cc.phase -> decision -> decision;
+      (** Observe/modify a segment decision.  Called exactly once per
+          committed segment; the returned (clamped) decision is binding — in
+          particular a later [earliest_departure] parks the already-built
+          segment in the qdisc until that timestamp, like an fq departure
+          time.  [phase] is the congestion controller's current phase, so
+          policies can stand down when pacing is load-bearing
+          (Section 5.1). *)
+}
+
+val default : t
+(** Identity hook: the stack behaves as stock Linux. *)
+
+val clamp : stack:decision -> decision -> decision
+(** [clamp ~stack proposed] enforces the safety invariant: result sizes are
+    in [\[1, stack's\]] and the departure is never earlier than the stack's. *)

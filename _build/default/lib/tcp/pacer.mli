@@ -1,0 +1,22 @@
+(** Per-connection pacing clock (the fq qdisc's virtual departure time).
+
+    Tracks when the next segment may enter the wire so that, at pacing rate
+    [r], a segment of [b] bytes reserves [8b/r] seconds of departure budget.
+    The decision (query) and the commitment (reservation) are separate so
+    that the Stob hook can observe — and delay — the departure before it is
+    booked. *)
+
+type t
+
+val create : unit -> t
+
+val next_departure : t -> now:float -> float
+(** Earliest permissible departure time for the next segment (>= [now]). *)
+
+val commit : t -> departure:float -> rate_bps:float -> bytes:int -> unit
+(** Book a segment: the following segment may not depart before
+    [departure + 8*bytes/rate].  An [infinity] rate books no spacing. *)
+
+val reset : t -> unit
+(** Forget accumulated budget (used after idle periods so a burst does not
+    get an artificial head start, mirroring fq's behaviour). *)

@@ -1,0 +1,83 @@
+module Packet = Stob_net.Packet
+module Capture = Stob_net.Capture
+module Link = Stob_sim.Link
+
+type t = {
+  to_server : Packet.t Link.t;  (* carries Outgoing packets *)
+  to_client : Packet.t Link.t;  (* carries Incoming packets *)
+  capture : Capture.t;
+  rx : (int * Packet.direction, Packet.t -> unit) Hashtbl.t;
+  serialized : (int * Packet.direction, Packet.t -> unit) Hashtbl.t;
+  server_qdisc : Packet.t array Qdisc.t option;
+}
+
+let burst_wire_bytes packets = Array.fold_left (fun acc p -> acc + Packet.wire_size p) 0 packets
+
+let create ~engine ~rate_bps ~delay ?queue_capacity ?(server_fq = false) () =
+  let rx = Hashtbl.create 16 in
+  let serialized = Hashtbl.create 16 in
+  let deliver dir p =
+    match Hashtbl.find_opt rx (p.Packet.flow, dir) with
+    | Some f -> f p
+    | None -> ()  (* unregistered flow: packet silently sinks *)
+  in
+  let to_server =
+    Link.create engine ~rate_bps ~delay ?queue_capacity ~size:Packet.wire_size
+      ~deliver:(deliver Packet.Outgoing) ()
+  in
+  let to_client =
+    Link.create engine ~rate_bps ~delay ?queue_capacity ~size:Packet.wire_size
+      ~deliver:(deliver Packet.Incoming) ()
+  in
+  let capture = Capture.create () in
+  let tap link =
+    Link.set_tap link (fun ~time p ->
+        Capture.record capture ~time p;
+        match Hashtbl.find_opt serialized (p.Packet.flow, p.Packet.dir) with
+        | Some f -> f p
+        | None -> ())
+  in
+  tap to_server;
+  tap to_client;
+  let server_qdisc =
+    if server_fq then
+      Some (Qdisc.fq ~limit_bytes:(64 * 1024 * 1024) ~size:burst_wire_bytes ())
+    else None
+  in
+  let t = { to_server; to_client; capture; rx; serialized; server_qdisc } in
+  (match server_qdisc with
+  | None -> ()
+  | Some q ->
+      (* Feed the server->client link from the qdisc whenever it idles. *)
+      Link.set_on_idle to_client (fun () ->
+          match Qdisc.dequeue q with
+          | None -> ()
+          | Some (_, burst) -> Array.iter (fun p -> ignore (Link.send to_client p)) burst));
+  t
+
+let register t ~flow ~client ~server =
+  Hashtbl.replace t.rx (flow, Packet.Incoming) client;
+  Hashtbl.replace t.rx (flow, Packet.Outgoing) server
+
+let set_serialized_callback t ~flow ~dir f = Hashtbl.replace t.serialized (flow, dir) f
+
+let send t packets =
+  if Array.length packets > 0 then begin
+    let dir = packets.(0).Packet.dir in
+    match (dir, t.server_qdisc) with
+    | Packet.Incoming, Some q ->
+        if Link.busy t.to_client || Qdisc.backlog_bytes q > 0 then begin
+          let flow = packets.(0).Packet.flow in
+          ignore (Qdisc.enqueue q ~flow packets)
+        end
+        else Array.iter (fun p -> ignore (Link.send t.to_client p)) packets
+    | Packet.Incoming, None -> Array.iter (fun p -> ignore (Link.send t.to_client p)) packets
+    | Packet.Outgoing, _ -> Array.iter (fun p -> ignore (Link.send t.to_server p)) packets
+  end
+
+let capture t = t.capture
+let server_link_bytes t = Link.bytes_sent t.to_client
+let client_link_bytes t = Link.bytes_sent t.to_server
+let drops t =
+  Link.drops t.to_client + Link.drops t.to_server
+  + match t.server_qdisc with None -> 0 | Some q -> Qdisc.drops q

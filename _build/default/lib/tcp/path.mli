@@ -1,0 +1,52 @@
+(** A client-server network path shared by many connections.
+
+    Two unidirectional links (client->server and server->client) with a
+    passive capture on each — the eavesdropper's vantage point.  Multiple
+    connections are multiplexed by flow id, like tcpdump seeing all traffic
+    between a browser and a site.
+
+    The server egress (the direction a server-side defense controls) can
+    optionally run a fair-queueing qdisc and a CPU model shared by all
+    flows, matching the paper's server-side deployment scenario. *)
+
+type t
+
+val create :
+  engine:Stob_sim.Engine.t ->
+  rate_bps:float ->
+  delay:float ->
+  ?queue_capacity:int ->
+  ?server_fq:bool ->
+  unit ->
+  t
+(** [delay] is one-way propagation (RTT is twice that plus serialization).
+    [queue_capacity] bounds each link's bottleneck queue in bytes.
+    [server_fq] interposes a DRR fair-queueing qdisc on the server->client
+    direction. *)
+
+val register :
+  t ->
+  flow:int ->
+  client:(Stob_net.Packet.t -> unit) ->
+  server:(Stob_net.Packet.t -> unit) ->
+  unit
+(** Bind receive callbacks for a flow.  [client] receives Incoming packets;
+    [server] receives Outgoing ones. *)
+
+val set_serialized_callback :
+  t -> flow:int -> dir:Stob_net.Packet.direction -> (Stob_net.Packet.t -> unit) -> unit
+(** Notify the sending endpoint of [flow] when one of its packets starts
+    serialization in direction [dir] (TSQ accounting). *)
+
+val send : t -> Stob_net.Packet.t array -> unit
+(** Inject a burst; each packet is routed by its direction field. *)
+
+val capture : t -> Stob_net.Capture.t
+(** The combined two-direction capture. *)
+
+val server_link_bytes : t -> int
+(** Bytes serialized so far on the server->client link (throughput probes). *)
+
+val client_link_bytes : t -> int
+val drops : t -> int
+(** Total packets dropped at either bottleneck queue. *)

@@ -1,0 +1,71 @@
+type state = {
+  config : Config.t;
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  mutable phase : Cc.phase;
+  mutable srtt : float option;
+  mutable recovery_acks : int;  (* bytes acked since entering recovery *)
+}
+
+let make (config : Config.t) : Cc.t =
+  let s =
+    {
+      config;
+      cwnd = config.initial_cwnd_pkts * config.mss;
+      ssthresh = config.initial_ssthresh;
+      phase = Cc.Slow_start;
+      srtt = None;
+      recovery_acks = 0;
+    }
+  in
+  let update_srtt rtt =
+    s.srtt <- Some (match s.srtt with None -> rtt | Some v -> (0.875 *. v) +. (0.125 *. rtt))
+  in
+  let on_ack ~now:_ ~acked ~rtt ~inflight:_ =
+    update_srtt rtt;
+    (match s.phase with
+    | Cc.Recovery ->
+        (* Leave recovery once a full window has been acknowledged. *)
+        s.recovery_acks <- s.recovery_acks + acked;
+        if s.recovery_acks >= s.ssthresh then
+          s.phase <- (if s.cwnd < s.ssthresh then Cc.Slow_start else Cc.Congestion_avoidance)
+    | _ -> ());
+    (match s.phase with
+    | Cc.Slow_start ->
+        s.cwnd <- s.cwnd + acked;
+        if s.cwnd >= s.ssthresh then begin
+          s.cwnd <- s.ssthresh;
+          s.phase <- Cc.Congestion_avoidance
+        end
+    | Cc.Congestion_avoidance ->
+        (* cwnd += mss * (acked bytes / cwnd): one MSS per window per RTT. *)
+        let incr = s.config.mss * acked / max 1 s.cwnd in
+        s.cwnd <- s.cwnd + max 0 incr
+    | Cc.Recovery | Cc.Startup | Cc.Drain | Cc.Probe_bw -> ());
+    s.cwnd <- min s.cwnd s.config.snd_buf
+  in
+  let on_loss ~now:_ =
+    if s.phase <> Cc.Recovery then begin
+      s.ssthresh <- max (2 * s.config.mss) (s.cwnd / 2);
+      s.cwnd <- s.ssthresh;
+      s.recovery_acks <- 0;
+      s.phase <- Cc.Recovery
+    end
+  in
+  let on_rto ~now:_ =
+    s.ssthresh <- max (2 * s.config.mss) (s.cwnd / 2);
+    s.cwnd <- s.config.mss;
+    s.phase <- Cc.Slow_start
+  in
+  {
+    Cc.name = "reno";
+    on_ack;
+    on_loss;
+    on_rto;
+    cwnd = (fun () -> s.cwnd);
+    pacing_rate =
+      (fun () ->
+        if not config.pacing then infinity
+        else Cc.generic_pacing_rate ~config ~cwnd:s.cwnd ~srtt:s.srtt ~phase:s.phase);
+    phase = (fun () -> s.phase);
+  }

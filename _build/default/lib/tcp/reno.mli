@@ -1,0 +1,8 @@
+(** NewReno-style loss-based congestion control.
+
+    Slow start doubles the window per RTT; congestion avoidance adds one MSS
+    per RTT; a fast-retransmit loss halves the window; an RTO collapses it to
+    one MSS.  Pacing follows the generic Linux rule (see
+    {!Cc.generic_pacing_rate}). *)
+
+val make : Cc.factory

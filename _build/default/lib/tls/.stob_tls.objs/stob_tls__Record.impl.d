@@ -1,0 +1,1 @@
+lib/tls/record.ml: List Stob_util

@@ -1,0 +1,1 @@
+lib/tls/session.ml: List Record Stob_tcp

@@ -1,0 +1,1 @@
+lib/tls/session.mli: Record Stob_tcp Stob_util

@@ -1,0 +1,52 @@
+(** Fixed-bin histograms.
+
+    The paper proposes representing obfuscation policies as "relatively
+    compact distribution functions like histograms" shared between the
+    application and the stack (Section 4.1).  This module is that
+    representation: a histogram can be built from observations, queried, and
+    sampled from, so a Stob policy can say "draw the next packet size (or
+    inter-departure gap) from this distribution". *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Empty histogram over [\[lo, hi)] with [bins] equal-width bins.
+    Raises [Invalid_argument] if [bins <= 0] or [hi <= lo]. *)
+
+val of_samples : lo:float -> hi:float -> bins:int -> float array -> t
+(** Build and fill in one step. *)
+
+val add : t -> float -> unit
+(** Record one observation.  Values outside [\[lo, hi)] are clamped into the
+    first/last bin, so the histogram always accounts for every observation. *)
+
+val count : t -> int
+(** Total observations recorded. *)
+
+val bin_count : t -> int -> int
+(** Observations in bin [i]. *)
+
+val bins : t -> int
+val lo : t -> float
+val hi : t -> float
+
+val bin_edges : t -> int -> float * float
+(** [(left, right)] edges of bin [i]. *)
+
+val density : t -> float array
+(** Normalized bin masses (sums to 1; all zeros when empty). *)
+
+val sample : t -> Rng.t -> float
+(** Draw from the empirical distribution: pick a bin proportionally to its
+    mass, then uniformly within the bin.  Raises [Invalid_argument] when the
+    histogram is empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [\[0, 1\]]: approximate inverse CDF using bin
+    interpolation.  Raises when empty. *)
+
+val merge : t -> t -> t
+(** Pointwise sum; both histograms must share geometry. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact textual rendering (for logs and the policy-table dump). *)

@@ -1,0 +1,1 @@
+lib/web/browser.ml: Array Hashtbl List Option Profile Queue Resource Stob_core Stob_net Stob_sim Stob_tcp Stob_tls Stob_util

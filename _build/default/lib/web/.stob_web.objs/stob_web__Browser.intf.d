@@ -1,0 +1,1 @@
+lib/web/browser.mli: Profile Resource Stob_core Stob_net Stob_tcp Stob_util

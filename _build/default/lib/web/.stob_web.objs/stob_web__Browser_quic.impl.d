@@ -1,0 +1,1 @@
+lib/web/browser_quic.ml: Browser Hashtbl List Option Profile Queue Resource Stob_core Stob_net Stob_quic Stob_sim Stob_tcp Stob_util

@@ -1,0 +1,1 @@
+lib/web/browser_quic.mli: Browser Profile Stob_core Stob_tcp Stob_util

@@ -1,0 +1,1 @@
+lib/web/dataset.ml: Array Browser Browser_quic Hashtbl List Profile Sites Stob_net Stob_util

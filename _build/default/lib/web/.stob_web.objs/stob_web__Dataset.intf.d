@@ -1,0 +1,1 @@
+lib/web/dataset.mli: Profile Stob_core Stob_net Stob_tcp Stob_util

@@ -1,0 +1,1 @@
+lib/web/profile.ml: List Resource Stob_util

@@ -1,0 +1,1 @@
+lib/web/profile.mli: Resource Stob_util

@@ -1,0 +1,1 @@
+lib/web/sites.ml: List Printf Profile Stob_util

@@ -1,0 +1,24 @@
+(** Page loads over QUIC (the HTTP/3 deployment model).
+
+    Unlike the TCP driver ({!Browser}), a QUIC visit uses a {e single}
+    connection: every resource is one bidirectional stream, with the
+    browser capping concurrent streams.  The wire picture therefore differs
+    from TCP exactly as it does in reality — one handshake, no per-
+    connection TLS flights, stream multiplexing interleaving responses —
+    which is what makes TCP-vs-QUIC fingerprintability comparable
+    (Section 2.3 argues Stob's control points exist in both; the QCSD line
+    of work studies the QUIC side).
+
+    Returns the same {!Browser.result} record, so datasets can be generated
+    over either transport interchangeably. *)
+
+val load :
+  ?policy:Stob_core.Policy.t ->
+  ?cc:Stob_tcp.Cc.factory ->
+  ?max_time:float ->
+  rng:Stob_util.Rng.t ->
+  Profile.t ->
+  Browser.result
+(** [policy] installs a server-side Stob policy on the connection's
+    datagram path.  The handshake flight size is drawn from the profile's
+    [tls_flight] (certificate chain), as in the TCP driver. *)

@@ -1,0 +1,44 @@
+(** Site profiles: the stochastic model a website's page loads are drawn
+    from.
+
+    The paper collects 100 tcpdump samples for each of 9 real sites; we
+    substitute per-site profiles whose draws produce distinctive but noisy
+    page compositions (object counts and sizes per class, server think
+    times) and network conditions (characteristic RTT to the site's CDN,
+    access-link rate).  Within-site variance comes from the distributions;
+    between-site signal comes from the parameters — the same
+    signal/noise structure a WF attack feeds on. *)
+
+type size_dist = { median : float; sigma : float }
+(** Log-normal in bytes: [mu = ln median], log-space std [sigma]. *)
+
+type class_spec = { mean_count : float; size : size_dist }
+(** Poisson object count with log-normal sizes. *)
+
+type t = {
+  name : string;
+  html : size_dist;
+  css : class_spec;
+  js : class_spec;
+  fonts : class_spec;
+  images : class_spec;
+  media : class_spec;
+  api : class_spec;
+  think : size_dist;  (** Server think time per object, seconds. *)
+  tls_flight : size_dist;
+      (** ServerHello..Finished flight size — certificate chains are
+          site-characteristic, which is most of what the first packets of a
+          real HTTPS visit reveal. *)
+  rtt_ms : float * float;  (** Round-trip range to this site's CDN, ms. *)
+  rate_mbps : float * float;  (** Client access-link rate range, Mb/s. *)
+  parallel_connections : int;  (** Browser connection pool size. *)
+}
+
+val generate_page : t -> Stob_util.Rng.t -> Resource.page
+(** Draw one page composition. *)
+
+val sample_network : t -> Stob_util.Rng.t -> float * float
+(** Draw [(rate_bps, one_way_delay_seconds)] for one visit. *)
+
+val sample_size : size_dist -> Stob_util.Rng.t -> int
+(** One log-normal draw, at least 1. *)

@@ -1,0 +1,195 @@
+open Profile
+
+let kb x = x *. 1024.0
+
+let size median sigma = { median; sigma }
+let cls mean_count median sigma = { mean_count; size = { median; sigma } }
+
+(* Server think time: tens of milliseconds, long-tailed. *)
+let typical_think = size 0.015 0.5
+
+(* The client access link is drawn from the same range for every site so the
+   classifier cannot key on it; the discriminative signal is composition and
+   CDN RTT.  The range is narrow because the paper's corpus was collected
+   from one vantage point within three hours — stable access conditions. *)
+let access_rate = (80.0, 100.0)
+
+let bing =
+  {
+    name = "bing.com";
+    html = size (kb 45.0) 0.30;
+    css = cls 2.0 (kb 25.0) 0.35;
+    js = cls 4.0 (kb 90.0) 0.35;
+    fonts = cls 1.0 (kb 30.0) 0.25;
+    images = cls 6.0 (kb 15.0) 0.50;
+    media = cls 0.3 (kb 250.0) 0.40;
+    api = cls 2.0 (kb 3.0) 0.45;
+    think = typical_think;
+    tls_flight = size 3200.0 0.06;
+    rtt_ms = (10.0, 20.0);
+    rate_mbps = access_rate;
+    parallel_connections = 6;
+  }
+
+let github =
+  {
+    name = "github.com";
+    html = size (kb 180.0) 0.25;
+    css = cls 2.0 (kb 60.0) 0.25;
+    js = cls 5.0 (kb 250.0) 0.30;
+    fonts = cls 2.0 (kb 80.0) 0.20;
+    images = cls 8.0 (kb 8.0) 0.55;
+    media = cls 0.0 (kb 1.0) 0.10;
+    api = cls 3.0 (kb 5.0) 0.40;
+    think = size 0.020 0.5;
+    tls_flight = size 3800.0 0.06;
+    rtt_ms = (25.0, 45.0);
+    rate_mbps = access_rate;
+    parallel_connections = 6;
+  }
+
+let instagram =
+  {
+    name = "instagram.com";
+    html = size (kb 60.0) 0.30;
+    css = cls 1.0 (kb 40.0) 0.30;
+    js = cls 8.0 (kb 300.0) 0.30;
+    fonts = cls 0.5 (kb 35.0) 0.25;
+    images = cls 20.0 (kb 80.0) 0.45;
+    media = cls 1.0 (kb 500.0) 0.40;
+    api = cls 6.0 (kb 8.0) 0.45;
+    think = size 0.018 0.5;
+    tls_flight = size 4400.0 0.06;
+    rtt_ms = (15.0, 30.0);
+    rate_mbps = access_rate;
+    parallel_connections = 6;
+  }
+
+let netflix =
+  {
+    name = "netflix.com";
+    html = size (kb 90.0) 0.28;
+    css = cls 2.0 (kb 50.0) 0.30;
+    js = cls 6.0 (kb 400.0) 0.28;
+    fonts = cls 2.0 (kb 40.0) 0.22;
+    images = cls 15.0 (kb 120.0) 0.40;
+    media = cls 1.0 (kb 1500.0) 0.35;
+    api = cls 4.0 (kb 6.0) 0.40;
+    think = size 0.015 0.5;
+    tls_flight = size 2800.0 0.06;
+    rtt_ms = (12.0, 25.0);
+    rate_mbps = access_rate;
+    parallel_connections = 6;
+  }
+
+let office =
+  {
+    name = "office.com";
+    html = size (kb 70.0) 0.28;
+    css = cls 3.0 (kb 45.0) 0.30;
+    js = cls 12.0 (kb 180.0) 0.30;
+    fonts = cls 3.0 (kb 60.0) 0.22;
+    images = cls 8.0 (kb 25.0) 0.45;
+    media = cls 0.0 (kb 1.0) 0.10;
+    api = cls 8.0 (kb 4.0) 0.45;
+    think = size 0.025 0.5;
+    tls_flight = size 5200.0 0.06;
+    rtt_ms = (20.0, 40.0);
+    rate_mbps = access_rate;
+    parallel_connections = 6;
+  }
+
+let spotify =
+  {
+    name = "spotify.com";
+    html = size (kb 55.0) 0.30;
+    css = cls 2.0 (kb 35.0) 0.30;
+    js = cls 7.0 (kb 280.0) 0.30;
+    fonts = cls 2.0 (kb 50.0) 0.22;
+    images = cls 12.0 (kb 60.0) 0.45;
+    media = cls 0.8 (kb 350.0) 0.40;
+    api = cls 5.0 (kb 5.0) 0.45;
+    think = size 0.018 0.5;
+    tls_flight = size 3500.0 0.06;
+    rtt_ms = (15.0, 35.0);
+    rate_mbps = access_rate;
+    parallel_connections = 6;
+  }
+
+let whatsapp =
+  {
+    name = "whatsapp.net";
+    html = size (kb 35.0) 0.30;
+    css = cls 1.0 (kb 20.0) 0.30;
+    js = cls 3.0 (kb 150.0) 0.30;
+    fonts = cls 1.0 (kb 25.0) 0.22;
+    images = cls 3.0 (kb 40.0) 0.45;
+    media = cls 0.0 (kb 1.0) 0.10;
+    api = cls 1.0 (kb 2.0) 0.40;
+    think = size 0.015 0.5;
+    tls_flight = size 2600.0 0.06;
+    rtt_ms = (20.0, 50.0);
+    rate_mbps = access_rate;
+    parallel_connections = 4;
+  }
+
+let wikipedia =
+  {
+    name = "wikipedia.org";
+    html = size (kb 85.0) 0.35;
+    css = cls 1.0 (kb 15.0) 0.25;
+    js = cls 2.0 (kb 50.0) 0.30;
+    fonts = cls 0.2 (kb 30.0) 0.20;
+    images = cls 10.0 (kb 30.0) 0.55;
+    media = cls 0.0 (kb 1.0) 0.10;
+    api = cls 0.5 (kb 2.0) 0.40;
+    think = size 0.012 0.5;
+    tls_flight = size 3000.0 0.06;
+    rtt_ms = (15.0, 35.0);
+    rate_mbps = access_rate;
+    parallel_connections = 4;
+  }
+
+let youtube =
+  {
+    name = "youtube.com";
+    html = size (kb 500.0) 0.22;
+    css = cls 1.0 (kb 80.0) 0.25;
+    js = cls 6.0 (kb 600.0) 0.25;
+    fonts = cls 1.0 (kb 40.0) 0.22;
+    images = cls 18.0 (kb 20.0) 0.50;
+    media = cls 2.0 (kb 800.0) 0.35;
+    api = cls 5.0 (kb 8.0) 0.45;
+    think = size 0.012 0.5;
+    tls_flight = size 4800.0 0.06;
+    rtt_ms = (8.0, 20.0);
+    rate_mbps = access_rate;
+    parallel_connections = 6;
+  }
+
+let all = [ bing; github; instagram; netflix; office; spotify; whatsapp; wikipedia; youtube ]
+
+let synthetic_background ~n ~seed =
+  let module Rng = Stob_util.Rng in
+  let rng = Rng.create (0x6261636b + seed) in
+  List.init n (fun i ->
+      let rtt_lo = Rng.uniform rng 8.0 45.0 in
+      {
+        name = Printf.sprintf "bg-%d-%d.example" seed i;
+        html = size (kb (Rng.uniform rng 20.0 400.0)) (Rng.uniform rng 0.2 0.4);
+        css = cls (Rng.uniform rng 0.5 4.0) (kb (Rng.uniform rng 10.0 80.0)) 0.3;
+        js = cls (Rng.uniform rng 1.0 12.0) (kb (Rng.uniform rng 40.0 500.0)) 0.3;
+        fonts = cls (Rng.uniform rng 0.0 3.0) (kb (Rng.uniform rng 20.0 80.0)) 0.25;
+        images = cls (Rng.uniform rng 1.0 20.0) (kb (Rng.uniform rng 5.0 120.0)) 0.5;
+        media = cls (Rng.uniform rng 0.0 1.5) (kb (Rng.uniform rng 100.0 1200.0)) 0.4;
+        api = cls (Rng.uniform rng 0.0 8.0) (kb (Rng.uniform rng 1.0 10.0)) 0.45;
+        think = size (Rng.uniform rng 0.008 0.03) 0.5;
+        tls_flight = size (Rng.uniform rng 2400.0 5400.0) 0.06;
+        rtt_ms = (rtt_lo, rtt_lo +. Rng.uniform rng 5.0 20.0);
+        rate_mbps = access_rate;
+        parallel_connections = Rng.int_in rng 4 6;
+      })
+
+let names = List.map (fun p -> p.name) all
+
+let find name = List.find (fun p -> p.name = name) all

@@ -1,0 +1,24 @@
+(** The paper's nine monitored sites, as synthetic profiles.
+
+    Section 3 collects traces for bing.com, github.com, instagram.com,
+    netflix.com, office.com, spotify.com, whatsapp.net, wikipedia.org and
+    youtube.com.  Each profile here encodes a plausible, {e distinctive}
+    composition for that site (script-heavy, image-heavy, minimal, media-
+    bearing, ...) plus a characteristic CDN RTT; exact parameters are
+    inventions calibrated only to be mutually distinguishable and
+    realistically noisy — see DESIGN.md on the tcpdump substitution. *)
+
+val all : Profile.t list
+(** The nine profiles, in the paper's (alphabetical) order. *)
+
+val names : string list
+
+val find : string -> Profile.t
+(** Lookup by name.  Raises [Not_found] for unknown sites. *)
+
+val synthetic_background : n:int -> seed:int -> Profile.t list
+(** [n] procedurally generated "unmonitored web" profiles for open-world
+    evaluation: parameters are drawn from wide plausible ranges so each
+    background site is distinct, with compositions overlapping the
+    monitored sites' space.  Deterministic in [seed]; profiles are named
+    [bg-<seed>-<i>.example]. *)

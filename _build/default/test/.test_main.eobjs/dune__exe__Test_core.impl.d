@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Controller List Machine Policy Policy_table Printf QCheck QCheck_alcotest Safety Stob_core Stob_tcp Stob_util Strategies

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Ablation Alcotest Arch Array Cca_id Fig3 Float Httpos Importance List Openworld Printf Re Stob_defense Stob_experiments Stob_kfp Stob_web Table1 Table2

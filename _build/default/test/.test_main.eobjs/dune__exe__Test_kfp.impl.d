@@ -1,0 +1,1 @@
+test/test_kfp.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Stob_defense Stob_kfp Stob_ml Stob_net Stob_util

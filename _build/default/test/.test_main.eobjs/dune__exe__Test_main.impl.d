@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest List Test_core Test_defense Test_experiments Test_kfp Test_ml Test_net Test_nn Test_quic Test_sim Test_tcp Test_util Test_web

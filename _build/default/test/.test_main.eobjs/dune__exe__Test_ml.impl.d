@@ -1,0 +1,1 @@
+test/test_ml.ml: Alcotest Array Decision_tree Eval Knn List Printf QCheck QCheck_alcotest Random_forest Stob_ml Stob_util

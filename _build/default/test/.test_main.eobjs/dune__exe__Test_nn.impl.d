@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Float List Printf Stob_kfp Stob_net Stob_nn Stob_util

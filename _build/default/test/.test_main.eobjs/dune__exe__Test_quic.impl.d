@@ -1,0 +1,1 @@
+test/test_quic.ml: Alcotest Array Connection Endpoint Frame Hashtbl List Option Printf QCheck QCheck_alcotest Stob_net Stob_quic Stob_sim Stob_tcp Stob_util

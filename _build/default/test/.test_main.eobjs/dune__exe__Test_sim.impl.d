@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List Option QCheck QCheck_alcotest Stob_sim

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Array Bbr Config Connection Cpu_costs Cubic Endpoint Float Hooks List Option Pacer Path Printf QCheck QCheck_alcotest Qdisc Reno Rtt Stob_net Stob_sim Stob_tcp Stob_util

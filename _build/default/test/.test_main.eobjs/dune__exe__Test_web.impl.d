@@ -1,0 +1,1 @@
+test/test_web.ml: Alcotest Array Browser Browser_quic Dataset Lazy List Printf Profile Resource Sites Stob_core Stob_net Stob_sim Stob_tcp Stob_tls Stob_util Stob_web

@@ -1,0 +1,167 @@
+(* Integration tests for the experiment harnesses: every table/figure
+   regenerator runs on reduced parameters and yields sane-shaped results. *)
+
+open Stob_experiments
+
+let test_table1_rows () =
+  let rows = Table1.run () in
+  Alcotest.(check bool) "all registry rows present" true
+    (List.length rows = List.length Stob_defense.Registry.all);
+  (* Implemented rows carry measurements; padding defenses cost bandwidth;
+     timing-only defenses do not. *)
+  let find name = List.find (fun r -> r.Table1.entry.Stob_defense.Registry.name = name) rows in
+  (match (find "FRONT").Table1.overhead with
+  | None -> Alcotest.fail "FRONT should be measured"
+  | Some s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "FRONT bandwidth cost substantial (%.2f)" s.Stob_defense.Overhead.bandwidth)
+        true
+        (s.Stob_defense.Overhead.bandwidth > 0.2));
+  (match (find "Stob-delay").Table1.overhead with
+  | None -> Alcotest.fail "Stob-delay should be measured"
+  | Some s ->
+      Alcotest.(check bool) "timing-only defense is bandwidth-free" true
+        (Float.abs s.Stob_defense.Overhead.bandwidth < 0.01);
+      Alcotest.(check bool) "but adds latency" true (s.Stob_defense.Overhead.latency > 0.01));
+  match (find "QCSD").Table1.overhead with
+  | None -> ()
+  | Some _ -> Alcotest.fail "unimplemented defense should have no measurement"
+
+let test_fig3_shape () =
+  let config =
+    { Fig3.default_config with Fig3.alphas = [ 0; 20; 40 ]; warmup = 0.02; measure = 0.05 }
+  in
+  let points = Fig3.run ~config () in
+  Alcotest.(check int) "three points" 3 (List.length points);
+  let p0 = List.nth points 0 and p40 = List.nth points 2 in
+  Alcotest.(check bool) "baseline in sane range" true
+    (p0.Fig3.baseline_gbps > 20.0 && p0.Fig3.baseline_gbps < 100.0);
+  Alcotest.(check bool) "tso reduction costs throughput" true
+    (p40.Fig3.tso_gbps < p0.Fig3.tso_gbps *. 0.9);
+  Alcotest.(check bool) "packet reduction costs less than tso" true
+    (p40.Fig3.packet_gbps >= p40.Fig3.tso_gbps);
+  Alcotest.(check bool) "floor stays high (paper: >= ~20 Gb/s)" true
+    (p40.Fig3.combined_gbps > 15.0)
+
+let test_table2_reduced () =
+  let config =
+    { Table2.default_config with Table2.samples_per_site = 8; folds = 2; forest_trees = 15; quiet = true }
+  in
+  let profiles =
+    [ Stob_web.Sites.find "bing.com"; Stob_web.Sites.find "youtube.com"; Stob_web.Sites.find "whatsapp.net" ]
+  in
+  let dataset = Stob_web.Dataset.generate ~samples_per_site:8 ~seed:5 ~profiles () in
+  let result = Table2.run_on ~config dataset in
+  Alcotest.(check int) "four rows" 4 (List.length result.Table2.rows);
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (c : Table2.cell) ->
+          Alcotest.(check bool) "accuracy in [0,1]" true (c.Table2.mean >= 0.0 && c.Table2.mean <= 1.0))
+        [ r.Table2.original; r.Table2.split; r.Table2.delayed; r.Table2.combined ])
+    result.Table2.rows;
+  (* With 3 distinctive sites even a tiny forest beats chance on full
+     traces. *)
+  let all_row = List.nth result.Table2.rows 3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "beats chance (%.2f > 0.5)" all_row.Table2.original.Table2.mean)
+    true
+    (all_row.Table2.original.Table2.mean > 0.5)
+
+let test_arch_renderings () =
+  let f1 = Arch.figure1 () and f2 = Arch.figure2 () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("figure 1 mentions " ^ needle) true
+        (Re.execp (Re.compile (Re.str needle)) f1))
+    [ "TLS over TCP"; "kTLS"; "QUIC"; "TSO"; "reno, cubic, bbr" ];
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("figure 2 mentions " ^ needle) true
+        (Re.execp (Re.compile (Re.str needle)) f2))
+    [ "policy table"; "tso_bytes"; "packet_payload"; "earliest_departure"; "clamp" ]
+
+let test_cca_ablation_reduced () =
+  let rows = Ablation.run_cca ~quiet:true () in
+  Alcotest.(check int) "three CCAs" 3 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) (r.Ablation.cca ^ " audits clean") 0 r.Ablation.violations;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s achieves link-order throughput (%.2f)" r.Ablation.cca
+           r.Ablation.baseline_gbps)
+        true
+        (r.Ablation.baseline_gbps > 1.0))
+    rows;
+  (* The paper's Section 5.1 concern, measured: the delaying policy costs
+     BBR (pacing-based) more than CUBIC (window-based). *)
+  let find name = List.find (fun r -> r.Ablation.cca = name) rows in
+  let cubic = find "cubic" and bbr = find "bbr" in
+  let cost r = r.Ablation.baseline_gbps -. r.Ablation.delayed_gbps in
+  Alcotest.(check bool)
+    (Printf.sprintf "bbr pays more (%.2f vs %.2f)" (cost bbr) (cost cubic))
+    true
+    (cost bbr > cost cubic +. 0.05)
+
+let test_openworld_reduced () =
+  let r =
+    Openworld.run ~samples_per_site:6 ~background_train_sites:6 ~background_test_sites:6 ~k:2
+      ~trees:15 ~quiet:true ()
+  in
+  let check_metrics name (m : Openworld.metrics) =
+    List.iter
+      (fun (what, v) ->
+        Alcotest.(check bool) (name ^ " " ^ what ^ " in [0,1]") true (v >= 0.0 && v <= 1.0))
+      [ ("tpr", m.Openworld.tpr); ("fpr", m.Openworld.fpr); ("wrong", m.Openworld.wrong_site) ]
+  in
+  check_metrics "undefended" r.Openworld.undefended;
+  check_metrics "defended" r.Openworld.defended;
+  (* The strict all-k-agree rule keeps false positives low even at this
+     tiny scale. *)
+  Alcotest.(check bool) "fpr below 0.5" true (r.Openworld.undefended.Openworld.fpr < 0.5)
+
+let test_httpos_reduced () =
+  let r = Httpos.run ~samples_per_site:6 ~trees:15 ~quiet:true () in
+  Alcotest.(check bool) "load time inflates" true
+    (r.Httpos.defended_load_time > r.Httpos.base_load_time *. 1.3);
+  Alcotest.(check bool) "accuracies in range" true
+    (r.Httpos.base_accuracy >= 0.0 && r.Httpos.base_accuracy <= 1.0
+    && r.Httpos.defended_accuracy >= 0.0
+    && r.Httpos.defended_accuracy <= 1.0)
+
+let test_importance_reduced () =
+  let r = Importance.run ~samples_per_site:6 ~trees:15 ~quiet:true () in
+  Alcotest.(check int) "all features ranked"
+    (Array.length Stob_kfp.Features.names)
+    (List.length r.Importance.undefended);
+  let sum l = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 l in
+  Alcotest.(check (float 1e-6)) "undefended normalized" 1.0 (sum r.Importance.undefended);
+  Alcotest.(check (float 1e-6)) "defended normalized" 1.0 (sum r.Importance.defended);
+  (* Descending order. *)
+  let rec sorted = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "descending" true (sorted r.Importance.undefended)
+
+let test_cca_id_reduced () =
+  let r = Cca_id.run ~flows_per_cca:5 ~trees:15 ~quiet:true () in
+  Alcotest.(check bool) "attack beats chance" true (r.Cca_id.undefended > 0.4);
+  Alcotest.(check bool) "rate floor reduces identifiability" true
+    (r.Cca_id.shaped <= r.Cca_id.undefended)
+
+let suite =
+  [
+    ( "experiments",
+      [
+        Alcotest.test_case "table1 rows and overheads" `Slow test_table1_rows;
+        Alcotest.test_case "fig3 shape" `Slow test_fig3_shape;
+        Alcotest.test_case "table2 reduced" `Slow test_table2_reduced;
+        Alcotest.test_case "architecture renderings" `Quick test_arch_renderings;
+        Alcotest.test_case "cca ablation" `Slow test_cca_ablation_reduced;
+        Alcotest.test_case "openworld reduced" `Slow test_openworld_reduced;
+        Alcotest.test_case "httpos reduced" `Slow test_httpos_reduced;
+        Alcotest.test_case "importance reduced" `Slow test_importance_reduced;
+        Alcotest.test_case "cca-id reduced" `Slow test_cca_id_reduced;
+      ] );
+  ]

@@ -1,0 +1,263 @@
+(* Tests for stob_ml: decision trees, random forests, k-NN, evaluation. *)
+
+module Rng = Stob_util.Rng
+open Stob_ml
+
+(* A linearly separable 2-class toy problem in 2D. *)
+let toy_dataset rng n =
+  let features =
+    Array.init n (fun _ ->
+        let x = Rng.uniform rng 0.0 10.0 and y = Rng.uniform rng 0.0 10.0 in
+        [| x; y |])
+  in
+  let labels = Array.map (fun f -> if f.(0) +. f.(1) > 10.0 then 1 else 0) features in
+  (features, labels)
+
+(* Four-class XOR-like grid: needs at least depth-2 trees. *)
+let grid_dataset rng n =
+  let features =
+    Array.init n (fun _ -> [| Rng.uniform rng 0.0 2.0; Rng.uniform rng 0.0 2.0 |])
+  in
+  let labels =
+    Array.map (fun f -> (if f.(0) > 1.0 then 2 else 0) + if f.(1) > 1.0 then 1 else 0) features
+  in
+  (features, labels)
+
+(* --- Decision tree --- *)
+
+let test_tree_fits_training_data () =
+  let rng = Rng.create 1 in
+  let features, labels = toy_dataset rng 200 in
+  let tree = Decision_tree.train ~rng ~n_classes:2 ~features ~labels () in
+  Array.iteri
+    (fun i f -> Alcotest.(check int) "training point" labels.(i) (Decision_tree.predict tree f))
+    features
+
+let test_tree_generalizes () =
+  let rng = Rng.create 2 in
+  let features, labels = toy_dataset rng 400 in
+  let tree = Decision_tree.train ~rng ~n_classes:2 ~features ~labels () in
+  let test_f, test_l = toy_dataset rng 200 in
+  let predicted = Array.map (Decision_tree.predict tree) test_f in
+  let acc = Eval.accuracy ~predicted ~actual:test_l in
+  Alcotest.(check bool) (Printf.sprintf "accuracy %.2f > 0.9" acc) true (acc > 0.9)
+
+let test_tree_max_depth_respected () =
+  let rng = Rng.create 3 in
+  let features, labels = grid_dataset rng 300 in
+  let params = { Decision_tree.default_params with max_depth = 1 } in
+  let tree = Decision_tree.train ~params ~rng ~n_classes:4 ~features ~labels () in
+  Alcotest.(check bool) "depth <= 1" true (Decision_tree.depth tree <= 1);
+  Alcotest.(check bool) "at most 2 leaves" true (Decision_tree.n_leaves tree <= 2)
+
+let test_tree_pure_node_is_leaf () =
+  let rng = Rng.create 4 in
+  let features = Array.init 50 (fun i -> [| float_of_int i |]) in
+  let labels = Array.make 50 1 in
+  let tree = Decision_tree.train ~rng ~n_classes:2 ~features ~labels () in
+  Alcotest.(check int) "single leaf" 1 (Decision_tree.n_leaves tree);
+  Alcotest.(check int) "predicts the constant class" 1 (Decision_tree.predict tree [| 3.0 |])
+
+let test_tree_predict_dist_sums_to_one () =
+  let rng = Rng.create 5 in
+  let features, labels = grid_dataset rng 200 in
+  let tree = Decision_tree.train ~rng ~n_classes:4 ~features ~labels () in
+  let dist = Decision_tree.predict_dist tree [| 0.5; 1.5 |] in
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 dist)
+
+let test_tree_leaf_ids_distinct () =
+  let rng = Rng.create 6 in
+  let features, labels = grid_dataset rng 400 in
+  let tree = Decision_tree.train ~rng ~n_classes:4 ~features ~labels () in
+  let ids =
+    List.sort_uniq compare
+      [
+        Decision_tree.leaf_id tree [| 0.5; 0.5 |];
+        Decision_tree.leaf_id tree [| 0.5; 1.5 |];
+        Decision_tree.leaf_id tree [| 1.5; 0.5 |];
+        Decision_tree.leaf_id tree [| 1.5; 1.5 |];
+      ]
+  in
+  Alcotest.(check int) "four distinct leaves" 4 (List.length ids)
+
+let test_tree_invalid_inputs () =
+  let rng = Rng.create 7 in
+  Alcotest.(check bool) "empty raises" true
+    (try
+       ignore (Decision_tree.train ~rng ~n_classes:2 ~features:[||] ~labels:[||] ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Random forest --- *)
+
+let test_forest_beats_chance_on_grid () =
+  let rng = Rng.create 8 in
+  let features, labels = grid_dataset rng 400 in
+  let forest =
+    Random_forest.train
+      ~params:{ Random_forest.default_params with n_trees = 30 }
+      ~n_classes:4 ~features ~labels ()
+  in
+  let test_f, test_l = grid_dataset rng 200 in
+  let predicted = Array.map (Random_forest.predict forest) test_f in
+  let acc = Eval.accuracy ~predicted ~actual:test_l in
+  Alcotest.(check bool) (Printf.sprintf "accuracy %.2f > 0.85" acc) true (acc > 0.85)
+
+let test_forest_deterministic_given_seed () =
+  let rng = Rng.create 9 in
+  let features, labels = grid_dataset rng 200 in
+  let train () =
+    Random_forest.train
+      ~params:{ Random_forest.default_params with n_trees = 10; seed = 5 }
+      ~n_classes:4 ~features ~labels ()
+  in
+  let a = train () and b = train () in
+  let test_f, _ = grid_dataset rng 100 in
+  Array.iter
+    (fun f ->
+      Alcotest.(check int) "same predictions" (Random_forest.predict a f) (Random_forest.predict b f))
+    test_f
+
+let test_forest_proba_normalized () =
+  let rng = Rng.create 10 in
+  let features, labels = grid_dataset rng 200 in
+  let forest =
+    Random_forest.train
+      ~params:{ Random_forest.default_params with n_trees = 10 }
+      ~n_classes:4 ~features ~labels ()
+  in
+  let proba = Random_forest.predict_proba forest [| 0.5; 0.5 |] in
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 proba)
+
+let test_forest_fingerprint_shape () =
+  let rng = Rng.create 11 in
+  let features, labels = grid_dataset rng 100 in
+  let forest =
+    Random_forest.train
+      ~params:{ Random_forest.default_params with n_trees = 7 }
+      ~n_classes:4 ~features ~labels ()
+  in
+  Alcotest.(check int) "one leaf per tree" 7
+    (Array.length (Random_forest.leaf_fingerprint forest [| 1.0; 1.0 |]))
+
+let test_forest_feature_importance () =
+  let rng = Rng.create 12 in
+  (* Feature 1 is the only informative one; feature 0 is noise. *)
+  let features = Array.init 300 (fun _ -> [| Rng.uniform rng 0.0 1.0; Rng.uniform rng 0.0 1.0 |]) in
+  let labels = Array.map (fun f -> if f.(1) > 0.5 then 1 else 0) features in
+  let forest =
+    Random_forest.train
+      ~params:{ Random_forest.default_params with n_trees = 15 }
+      ~n_classes:2 ~features ~labels ()
+  in
+  let imp = Random_forest.feature_importance forest in
+  Alcotest.(check (float 1e-6)) "normalized" 1.0 (Array.fold_left ( +. ) 0.0 imp);
+  Alcotest.(check bool)
+    (Printf.sprintf "informative feature dominates (%.2f vs %.2f)" imp.(1) imp.(0))
+    true
+    (imp.(1) > 5.0 *. imp.(0))
+
+(* --- Knn --- *)
+
+let test_knn_hamming () =
+  Alcotest.(check int) "distance" 2 (Knn.hamming [| 1; 2; 3; 4 |] [| 1; 9; 3; 9 |]);
+  Alcotest.(check int) "identical" 0 (Knn.hamming [| 1; 2 |] [| 1; 2 |]);
+  Alcotest.(check bool) "mismatch raises" true
+    (try
+       ignore (Knn.hamming [| 1 |] [| 1; 2 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_knn_classify () =
+  let fingerprints = [| [| 0; 0; 0 |]; [| 0; 0; 1 |]; [| 9; 9; 9 |]; [| 9; 9; 8 |] |] in
+  let labels = [| 0; 0; 1; 1 |] in
+  let knn = Knn.create ~fingerprints ~labels ~n_classes:2 in
+  Alcotest.(check int) "near class 0" 0 (Knn.classify knn ~k:2 [| 0; 1; 0 |]);
+  Alcotest.(check int) "near class 1" 1 (Knn.classify knn ~k:2 [| 9; 8; 9 |])
+
+let test_knn_nearest_sorted () =
+  let fingerprints = [| [| 0; 0 |]; [| 5; 5 |]; [| 0; 1 |] |] in
+  let labels = [| 0; 1; 2 |] in
+  let knn = Knn.create ~fingerprints ~labels ~n_classes:3 in
+  match Knn.nearest knn ~k:3 [| 0; 0 |] with
+  | [ (l1, d1); (_, d2); (_, d3) ] ->
+      Alcotest.(check int) "closest label" 0 l1;
+      Alcotest.(check bool) "sorted distances" true (d1 <= d2 && d2 <= d3)
+  | _ -> Alcotest.fail "expected three neighbours"
+
+(* --- Eval --- *)
+
+let test_eval_accuracy () =
+  Alcotest.(check (float 1e-9)) "3/4" 0.75
+    (Eval.accuracy ~predicted:[| 1; 0; 1; 1 |] ~actual:[| 1; 0; 0; 1 |])
+
+let test_eval_confusion () =
+  let m = Eval.confusion ~n_classes:2 ~predicted:[| 0; 1; 1; 0 |] ~actual:[| 0; 1; 0; 0 |] in
+  Alcotest.(check int) "true 0 predicted 0" 2 m.(0).(0);
+  Alcotest.(check int) "true 0 predicted 1" 1 m.(0).(1);
+  Alcotest.(check int) "true 1 predicted 1" 1 m.(1).(1)
+
+let test_eval_per_class_recall () =
+  let m = [| [| 8; 2 |]; [| 1; 9 |] |] in
+  let r = Eval.per_class_recall m in
+  Alcotest.(check (float 1e-9)) "class 0" 0.8 r.(0);
+  Alcotest.(check (float 1e-9)) "class 1" 0.9 r.(1)
+
+let test_eval_mean_std () =
+  let m, s = Eval.mean_std [ 0.8; 0.9; 1.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 0.9 m;
+  Alcotest.(check (float 1e-6)) "std" 0.1 s
+
+(* --- qcheck --- *)
+
+let prop_forest_predicts_known_class =
+  QCheck.Test.make ~name:"forest prediction is a valid class" ~count:50
+    QCheck.(int_range 2 5)
+    (fun n_classes ->
+      let rng = Rng.create n_classes in
+      let features = Array.init 60 (fun _ -> [| Rng.uniform rng 0.0 1.0 |]) in
+      let labels = Array.init 60 (fun i -> i mod n_classes) in
+      let forest =
+        Random_forest.train
+          ~params:{ Random_forest.default_params with n_trees = 5 }
+          ~n_classes ~features ~labels ()
+      in
+      let p = Random_forest.predict forest [| 0.5 |] in
+      p >= 0 && p < n_classes)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "ml.decision_tree",
+      [
+        Alcotest.test_case "fits training data" `Quick test_tree_fits_training_data;
+        Alcotest.test_case "generalizes" `Quick test_tree_generalizes;
+        Alcotest.test_case "max depth" `Quick test_tree_max_depth_respected;
+        Alcotest.test_case "pure node" `Quick test_tree_pure_node_is_leaf;
+        Alcotest.test_case "dist sums to one" `Quick test_tree_predict_dist_sums_to_one;
+        Alcotest.test_case "leaf ids distinct" `Quick test_tree_leaf_ids_distinct;
+        Alcotest.test_case "invalid inputs" `Quick test_tree_invalid_inputs;
+      ] );
+    ( "ml.random_forest",
+      [
+        Alcotest.test_case "beats chance on grid" `Quick test_forest_beats_chance_on_grid;
+        Alcotest.test_case "deterministic given seed" `Quick test_forest_deterministic_given_seed;
+        Alcotest.test_case "proba normalized" `Quick test_forest_proba_normalized;
+        Alcotest.test_case "fingerprint shape" `Quick test_forest_fingerprint_shape;
+        Alcotest.test_case "feature importance" `Quick test_forest_feature_importance;
+        q prop_forest_predicts_known_class;
+      ] );
+    ( "ml.knn",
+      [
+        Alcotest.test_case "hamming" `Quick test_knn_hamming;
+        Alcotest.test_case "classify" `Quick test_knn_classify;
+        Alcotest.test_case "nearest sorted" `Quick test_knn_nearest_sorted;
+      ] );
+    ( "ml.eval",
+      [
+        Alcotest.test_case "accuracy" `Quick test_eval_accuracy;
+        Alcotest.test_case "confusion" `Quick test_eval_confusion;
+        Alcotest.test_case "per-class recall" `Quick test_eval_per_class_recall;
+        Alcotest.test_case "mean/std" `Quick test_eval_mean_std;
+      ] );
+  ]

@@ -1,0 +1,183 @@
+(* Tests for stob_nn and the DF-lite attack: gradient checks against
+   numerical differentiation, shape invariants, and learnability. *)
+
+module Rng = Stob_util.Rng
+module Layer = Stob_nn.Layer
+module Network = Stob_nn.Network
+module Dfnet = Stob_kfp.Dfnet
+
+(* Numerical gradient check: compare analytic dLoss/dInput with central
+   differences through an arbitrary layer stack. *)
+let gradient_check ~rng layers ~inputs ~n_classes =
+  let net = Network.create layers in
+  let x = Array.init inputs (fun _ -> Rng.uniform rng (-1.0) 1.0) in
+  let label = Rng.int rng n_classes in
+  (* Analytic input gradient: run train_sample on a wrapper layer that
+     records the gradient flowing out of the bottom. *)
+  let recorded = ref [||] in
+  let probe =
+    {
+      Layer.forward = (fun v -> v);
+      backward =
+        (fun g ->
+          recorded := g;
+          g);
+      update = (fun ~lr:_ -> ());
+    }
+  in
+  let probed = Network.create (probe :: layers) in
+  ignore (Network.train_sample probed ~x ~label);
+  let analytic = !recorded in
+  let eps = 1e-4 in
+  let loss v =
+    let out = Network.logits net v in
+    let probs = Network.softmax out in
+    -.log (Float.max 1e-12 probs.(label))
+  in
+  let max_err = ref 0.0 in
+  (* Check a sample of coordinates to keep the test fast. *)
+  let coords = [ 0; inputs / 3; inputs / 2; (2 * inputs / 3) + 1; inputs - 1 ] in
+  List.iter
+    (fun i ->
+      let saved = x.(i) in
+      x.(i) <- saved +. eps;
+      let up = loss x in
+      x.(i) <- saved -. eps;
+      let down = loss x in
+      x.(i) <- saved;
+      let numeric = (up -. down) /. (2.0 *. eps) in
+      let err = Float.abs (numeric -. analytic.(i)) /. Float.max 1.0 (Float.abs numeric) in
+      if err > !max_err then max_err := err)
+    coords;
+  !max_err
+
+let test_dense_gradients () =
+  let rng = Rng.create 1 in
+  let err =
+    gradient_check ~rng
+      [ Layer.dense ~rng ~inputs:12 ~outputs:8; Layer.relu (); Layer.dense ~rng ~inputs:8 ~outputs:3 ]
+      ~inputs:12 ~n_classes:3
+  in
+  Alcotest.(check bool) (Printf.sprintf "max rel err %.2e < 1e-3" err) true (err < 1e-3)
+
+let test_conv_gradients () =
+  let rng = Rng.create 2 in
+  let c1 = Layer.conv_output_length ~length:20 ~kernel:5 in
+  let p1 = Layer.pool_output_length ~length:c1 ~factor:2 in
+  let err =
+    gradient_check ~rng
+      [
+        Layer.conv1d ~rng ~in_channels:1 ~out_channels:3 ~kernel:5 ~length:20;
+        Layer.relu ();
+        Layer.maxpool1d ~channels:3 ~length:c1 ~factor:2;
+        Layer.dense ~rng ~inputs:(3 * p1) ~outputs:2;
+      ]
+      ~inputs:20 ~n_classes:2
+  in
+  Alcotest.(check bool) (Printf.sprintf "max rel err %.2e < 1e-3" err) true (err < 1e-3)
+
+let test_shapes () =
+  let rng = Rng.create 3 in
+  let conv = Layer.conv1d ~rng ~in_channels:2 ~out_channels:4 ~kernel:3 ~length:10 in
+  let out = conv.Layer.forward (Array.make 20 1.0) in
+  Alcotest.(check int) "conv output size" (4 * 8) (Array.length out);
+  let pool = Layer.maxpool1d ~channels:4 ~length:8 ~factor:2 in
+  Alcotest.(check int) "pool output size" (4 * 4) (Array.length (pool.Layer.forward out))
+
+let test_maxpool_selects_max () =
+  let pool = Layer.maxpool1d ~channels:1 ~length:6 ~factor:3 in
+  let out = pool.Layer.forward [| 1.0; 5.0; 2.0; -1.0; -7.0; -2.0 |] in
+  Alcotest.(check (array (float 1e-12))) "maxima" [| 5.0; -1.0 |] out;
+  (* Backward routes gradient to the argmax positions. *)
+  let din = pool.Layer.backward [| 1.0; 2.0 |] in
+  Alcotest.(check (array (float 1e-12))) "routed" [| 0.0; 1.0; 0.0; 2.0; 0.0; 0.0 |] din
+
+let test_softmax () =
+  let p = Network.softmax [| 1.0; 1.0; 1.0 |] in
+  Array.iter (fun v -> Alcotest.(check (float 1e-9)) "uniform" (1.0 /. 3.0) v) p;
+  let q = Network.softmax [| 1000.0; 0.0 |] in
+  Alcotest.(check bool) "stable on large logits" true (q.(0) > 0.999 && Float.is_finite q.(0))
+
+let test_network_learns_xor () =
+  let rng = Rng.create 4 in
+  let net =
+    Network.create
+      [ Layer.dense ~rng ~inputs:2 ~outputs:8; Layer.relu (); Layer.dense ~rng ~inputs:8 ~outputs:2 ]
+  in
+  let xs = [| [| 0.0; 0.0 |]; [| 0.0; 1.0 |]; [| 1.0; 0.0 |]; [| 1.0; 1.0 |] |] in
+  let labels = [| 0; 1; 1; 0 |] in
+  Network.fit net ~rng ~xs ~labels ~epochs:600 ~batch:4 ~lr:0.3 ();
+  Alcotest.(check (float 1e-9)) "xor solved" 1.0 (Network.accuracy net ~xs ~labels)
+
+let test_loss_decreases () =
+  let rng = Rng.create 5 in
+  let xs = Array.init 40 (fun _ -> Array.init 10 (fun _ -> Rng.uniform rng (-1.0) 1.0)) in
+  let labels = Array.map (fun x -> if x.(0) +. x.(5) > 0.0 then 1 else 0) xs in
+  let net =
+    Network.create
+      [ Layer.dense ~rng ~inputs:10 ~outputs:8; Layer.relu (); Layer.dense ~rng ~inputs:8 ~outputs:2 ]
+  in
+  let first = ref nan and last = ref nan in
+  Network.fit net ~rng ~xs ~labels ~epochs:50 ~lr:0.1
+    ~on_epoch:(fun p ->
+      if p.Network.epoch = 1 then first := p.Network.mean_loss;
+      last := p.Network.mean_loss)
+    ();
+  Alcotest.(check bool)
+    (Printf.sprintf "loss fell (%.3f -> %.3f)" !first !last)
+    true (!last < !first /. 2.0)
+
+(* --- DF-lite --- *)
+
+let test_dfnet_encode () =
+  let trace =
+    [|
+      { Stob_net.Trace.time = 0.0; dir = Stob_net.Packet.Outgoing; size = 100 };
+      { Stob_net.Trace.time = 0.1; dir = Stob_net.Packet.Incoming; size = 1500 };
+    |]
+  in
+  let x = Dfnet.encode trace in
+  Alcotest.(check int) "length" Dfnet.input_length (Array.length x);
+  Alcotest.(check (float 0.0)) "outgoing" 1.0 x.(0);
+  Alcotest.(check (float 0.0)) "incoming" (-1.0) x.(1);
+  Alcotest.(check (float 0.0)) "padding" 0.0 x.(2)
+
+let test_dfnet_learns_synthetic_classes () =
+  (* Class 0: long incoming bursts; class 1: alternating directions. *)
+  let rng = Rng.create 6 in
+  let make label =
+    Array.init 30 (fun _ ->
+        let n = 200 + Rng.int rng 100 in
+        Array.init Dfnet.input_length (fun i ->
+            if i >= n then 0.0
+            else if label = 0 then if i mod 12 < 2 then 1.0 else -1.0
+            else if i mod 2 = 0 then 1.0
+            else -1.0))
+  in
+  let xs = Array.append (make 0) (make 1) in
+  let labels = Array.init 60 (fun i -> if i < 30 then 0 else 1) in
+  let net = Dfnet.train ~epochs:8 ~seed:7 ~n_classes:2 ~xs ~labels () in
+  let acc = Dfnet.accuracy net ~xs ~labels in
+  Alcotest.(check bool) (Printf.sprintf "separates patterns (%.2f)" acc) true (acc > 0.95)
+
+let suite =
+  [
+    ( "nn.layers",
+      [
+        Alcotest.test_case "dense gradients" `Quick test_dense_gradients;
+        Alcotest.test_case "conv gradients" `Quick test_conv_gradients;
+        Alcotest.test_case "shapes" `Quick test_shapes;
+        Alcotest.test_case "maxpool" `Quick test_maxpool_selects_max;
+        Alcotest.test_case "softmax" `Quick test_softmax;
+      ] );
+    ( "nn.network",
+      [
+        Alcotest.test_case "learns xor" `Quick test_network_learns_xor;
+        Alcotest.test_case "loss decreases" `Quick test_loss_decreases;
+      ] );
+    ( "nn.dfnet",
+      [
+        Alcotest.test_case "encode" `Quick test_dfnet_encode;
+        Alcotest.test_case "learns synthetic classes" `Slow test_dfnet_learns_synthetic_classes;
+      ] );
+  ]

@@ -1,0 +1,228 @@
+(* Tests for stob_quic: frames, handshake, stream transfer, loss recovery,
+   Stob hooks on the QUIC datagram path. *)
+
+module Engine = Stob_sim.Engine
+module Units = Stob_util.Units
+module Packet = Stob_net.Packet
+module Trace = Stob_net.Trace
+module Capture = Stob_net.Capture
+module Path = Stob_tcp.Path
+module Hooks = Stob_tcp.Hooks
+open Stob_quic
+
+(* --- Frame --- *)
+
+let test_frame_sizes () =
+  Alcotest.(check int) "stream frame" (8 + 1000)
+    (Frame.wire_bytes (Frame.Stream { stream = 4; offset = 0; length = 1000; fin = false }));
+  Alcotest.(check int) "ack 2 ranges" 16 (Frame.wire_bytes (Frame.Ack { ranges = [ (5, 9); (0, 2) ] }));
+  Alcotest.(check int) "padding" 100 (Frame.wire_bytes (Frame.Padding 100));
+  Alcotest.(check int) "ping" 1 (Frame.wire_bytes Frame.Ping)
+
+let test_frame_ack_eliciting () =
+  Alcotest.(check bool) "ack is not" false (Frame.is_ack_eliciting (Frame.Ack { ranges = [] }));
+  Alcotest.(check bool) "stream is" true
+    (Frame.is_ack_eliciting (Frame.Stream { stream = 4; offset = 0; length = 1; fin = false }));
+  Alcotest.(check bool) "padding is" true (Frame.is_ack_eliciting (Frame.Padding 10))
+
+(* --- connection world --- *)
+
+type world = {
+  engine : Engine.t;
+  path : Path.t;
+  conn : Connection.t;
+  client_rx : (int, int) Hashtbl.t;  (* stream -> bytes delivered at client *)
+  server_rx : (int, int) Hashtbl.t;
+  client_fins : int ref;
+  server_fins : int ref;
+}
+
+let make_world ?(rate_bps = Units.mbps 100.0) ?(delay = 0.01) ?queue_capacity ?cc ?server_hooks ()
+    =
+  let engine = Engine.create () in
+  let path = Path.create ~engine ~rate_bps ~delay ?queue_capacity () in
+  let conn = Connection.create ~engine ~path ~flow:1 ?cc ?server_hooks ~flight_bytes:3500 () in
+  let client_rx = Hashtbl.create 8 and server_rx = Hashtbl.create 8 in
+  let client_fins = ref 0 and server_fins = ref 0 in
+  let count tbl ~stream n =
+    Hashtbl.replace tbl stream (n + Option.value ~default:0 (Hashtbl.find_opt tbl stream))
+  in
+  Endpoint.set_on_stream (Connection.client conn) (fun ~stream n -> count client_rx ~stream n);
+  Endpoint.set_on_stream (Connection.server conn) (fun ~stream n -> count server_rx ~stream n);
+  Endpoint.set_on_stream_fin (Connection.client conn) (fun ~stream:_ -> incr client_fins);
+  Endpoint.set_on_stream_fin (Connection.server conn) (fun ~stream:_ -> incr server_fins);
+  { engine; path; conn; client_rx; server_rx; client_fins; server_fins }
+
+let got tbl stream = Option.value ~default:0 (Hashtbl.find_opt tbl stream)
+
+let test_handshake () =
+  let w = make_world () in
+  Connection.open_ w.conn;
+  Engine.run ~until:2.0 w.engine;
+  Alcotest.(check bool) "client established" true (Endpoint.established (Connection.client w.conn));
+  Alcotest.(check bool) "server established" true (Endpoint.established (Connection.server w.conn))
+
+let test_initial_padded () =
+  let w = make_world () in
+  Connection.open_ w.conn;
+  Engine.run ~until:2.0 w.engine;
+  let trace = Capture.trace (Path.capture w.path) in
+  (* First client datagram is padded to >= 1200 B payload. *)
+  Alcotest.(check bool) "initial padded" true (trace.(0).Trace.size >= 1200)
+
+let test_stream_transfer () =
+  let w = make_world () in
+  Connection.on_established w.conn (fun () ->
+      Endpoint.send_stream (Connection.client w.conn) ~stream:4 ~fin:true 500);
+  Endpoint.set_on_stream_fin (Connection.server w.conn) (fun ~stream ->
+      incr w.server_fins;
+      if stream = 4 then Endpoint.send_stream (Connection.server w.conn) ~stream:4 ~fin:true 300_000);
+  Connection.open_ w.conn;
+  Engine.run ~until:30.0 w.engine;
+  Alcotest.(check int) "server got request" 500 (got w.server_rx 4);
+  Alcotest.(check int) "client got response" 300_000 (got w.client_rx 4);
+  Alcotest.(check int) "client saw fin" 1 !(w.client_fins)
+
+let test_multiplexed_streams () =
+  let w = make_world () in
+  let streams = [ 4; 8; 12; 16 ] in
+  Connection.on_established w.conn (fun () ->
+      List.iter
+        (fun s -> Endpoint.send_stream (Connection.server w.conn) ~stream:s ~fin:true (50_000 + s))
+        streams);
+  Connection.open_ w.conn;
+  Engine.run ~until:30.0 w.engine;
+  List.iter
+    (fun s -> Alcotest.(check int) (Printf.sprintf "stream %d complete" s) (50_000 + s) (got w.client_rx s))
+    streams;
+  Alcotest.(check int) "all fins" (List.length streams) !(w.client_fins)
+
+let test_loss_recovery () =
+  let w = make_world ~rate_bps:(Units.mbps 20.0) ~delay:0.02 ~queue_capacity:20_000 () in
+  Connection.on_established w.conn (fun () ->
+      Endpoint.send_stream (Connection.server w.conn) ~stream:4 ~fin:true 1_000_000);
+  Connection.open_ w.conn;
+  Engine.run ~until:60.0 w.engine;
+  Alcotest.(check int) "all bytes despite drops" 1_000_000 (got w.client_rx 4);
+  Alcotest.(check bool) "drops happened" true (Path.drops w.path > 0);
+  Alcotest.(check bool) "chunks were retransmitted" true
+    (Endpoint.retransmitted_chunks (Connection.server w.conn) > 0)
+
+let cca_cases = [ ("reno", Stob_tcp.Reno.make); ("cubic", Stob_tcp.Cubic.make); ("bbr", Stob_tcp.Bbr.make) ]
+
+let test_all_ccas () =
+  List.iter
+    (fun (name, cc) ->
+      let w = make_world ~cc () in
+      Connection.on_established w.conn (fun () ->
+          Endpoint.send_stream (Connection.server w.conn) ~stream:4 ~fin:true 400_000);
+      Connection.open_ w.conn;
+      Engine.run ~until:30.0 w.engine;
+      Alcotest.(check int) (name ^ " delivers") 400_000 (got w.client_rx 4))
+    cca_cases
+
+let test_datagrams_respect_mtu () =
+  let w = make_world () in
+  Connection.on_established w.conn (fun () ->
+      Endpoint.send_stream (Connection.server w.conn) ~stream:4 ~fin:true 200_000);
+  Connection.open_ w.conn;
+  Engine.run ~until:30.0 w.engine;
+  let trace = Capture.trace (Path.capture w.path) in
+  Array.iter
+    (fun e -> Alcotest.(check bool) "within datagram budget" true (e.Trace.size <= 1350 + 43))
+    trace
+
+let test_hook_shrinks_datagrams () =
+  let hook =
+    {
+      Hooks.on_segment =
+        (fun ~now:_ ~flow:_ ~phase:_ d -> { d with Hooks.packet_payload = 600 });
+    }
+  in
+  let baseline = make_world () in
+  Connection.on_established baseline.conn (fun () ->
+      Endpoint.send_stream (Connection.server baseline.conn) ~stream:4 ~fin:true 200_000);
+  Connection.open_ baseline.conn;
+  Engine.run ~until:30.0 baseline.engine;
+  let hooked = make_world ~server_hooks:hook () in
+  Connection.on_established hooked.conn (fun () ->
+      Endpoint.send_stream (Connection.server hooked.conn) ~stream:4 ~fin:true 200_000);
+  Connection.open_ hooked.conn;
+  Engine.run ~until:30.0 hooked.engine;
+  Alcotest.(check int) "hooked still delivers" 200_000 (got hooked.client_rx 4);
+  let count w =
+    Trace.count ~dir:Packet.Incoming (Capture.trace (Path.capture w.path))
+  in
+  Alcotest.(check bool) "more, smaller datagrams" true (count hooked > count baseline);
+  let max_in w =
+    Array.fold_left
+      (fun acc e -> if e.Trace.dir = Packet.Incoming then max acc e.Trace.size else acc)
+      0
+      (Capture.trace (Path.capture w.path))
+  in
+  Alcotest.(check bool) "datagram size capped" true (max_in hooked <= 600 + 43)
+
+let test_padding_datagram () =
+  let w = make_world () in
+  Connection.on_established w.conn (fun () ->
+      Endpoint.send_padding_datagram (Connection.server w.conn) 900;
+      Endpoint.send_stream (Connection.server w.conn) ~stream:4 ~fin:true 10_000);
+  Connection.open_ w.conn;
+  Engine.run ~until:30.0 w.engine;
+  Alcotest.(check int) "only real bytes delivered" 10_000 (got w.client_rx 4);
+  let trace = Capture.trace (Path.capture w.path) in
+  Alcotest.(check bool) "padding visible on wire" true
+    (Array.exists (fun e -> e.Trace.dir = Packet.Incoming && e.Trace.size = 900 + 43) trace)
+
+let test_flight_bytes_visible () =
+  (* Bigger handshake flights produce more early incoming bytes — the
+     site-characteristic signal. *)
+  let flight_bytes flight =
+    let engine = Engine.create () in
+    let path = Path.create ~engine ~rate_bps:(Units.mbps 100.0) ~delay:0.01 () in
+    let conn = Connection.create ~engine ~path ~flow:1 ~flight_bytes:flight () in
+    Connection.open_ conn;
+    Engine.run ~until:2.0 engine;
+    Trace.bytes ~dir:Packet.Incoming (Capture.trace (Path.capture path))
+  in
+  Alcotest.(check bool) "bigger flight, more bytes" true (flight_bytes 5000 > flight_bytes 2500)
+
+let prop_quic_delivery_integrity =
+  QCheck.Test.make ~name:"quic delivers exactly the stream bytes under any loss" ~count:20
+    QCheck.(
+      quad (int_range 15_000 120_000) (int_range 10_000 300_000) (int_range 5 80) (int_range 1 40))
+    (fun (queue_capacity, response, rate, delay_ms) ->
+      let w =
+        make_world
+          ~rate_bps:(Units.mbps (float_of_int rate))
+          ~delay:(float_of_int delay_ms *. 1e-3)
+          ~queue_capacity ()
+      in
+      Connection.on_established w.conn (fun () ->
+          Endpoint.send_stream (Connection.server w.conn) ~stream:4 ~fin:true response);
+      Connection.open_ w.conn;
+      Engine.run ~until:90.0 w.engine;
+      got w.client_rx 4 = response)
+
+let suite =
+  [
+    ( "quic.frame",
+      [
+        Alcotest.test_case "sizes" `Quick test_frame_sizes;
+        Alcotest.test_case "ack eliciting" `Quick test_frame_ack_eliciting;
+      ] );
+    ( "quic.connection",
+      [
+        Alcotest.test_case "handshake" `Quick test_handshake;
+        Alcotest.test_case "initial padded" `Quick test_initial_padded;
+        Alcotest.test_case "stream transfer" `Quick test_stream_transfer;
+        Alcotest.test_case "multiplexed streams" `Quick test_multiplexed_streams;
+        Alcotest.test_case "loss recovery" `Quick test_loss_recovery;
+        Alcotest.test_case "all CCAs" `Slow test_all_ccas;
+        Alcotest.test_case "datagrams respect mtu" `Quick test_datagrams_respect_mtu;
+        Alcotest.test_case "hook shrinks datagrams" `Quick test_hook_shrinks_datagrams;
+        Alcotest.test_case "padding datagram" `Quick test_padding_datagram;
+        Alcotest.test_case "flight bytes visible" `Quick test_flight_bytes_visible;
+        QCheck_alcotest.to_alcotest prop_quic_delivery_integrity;
+      ] );
+  ]

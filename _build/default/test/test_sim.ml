@@ -1,0 +1,263 @@
+(* Tests for stob_sim: event queue ordering, engine semantics, CPU model,
+   link model. *)
+
+module Event_queue = Stob_sim.Event_queue
+module Engine = Stob_sim.Engine
+module Cpu = Stob_sim.Cpu
+module Link = Stob_sim.Link
+
+let check_float = Alcotest.(check (float 1e-12))
+
+(* --- Event_queue --- *)
+
+let test_eq_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:3.0 "c";
+  Event_queue.push q ~time:1.0 "a";
+  Event_queue.push q ~time:2.0 "b";
+  Alcotest.(check (option (pair (float 0.0) string))) "pop a" (Some (1.0, "a")) (Event_queue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop b" (Some (2.0, "b")) (Event_queue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop c" (Some (3.0, "c")) (Event_queue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "empty" None (Event_queue.pop q)
+
+let test_eq_fifo_ties () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:1.0 "first";
+  Event_queue.push q ~time:1.0 "second";
+  Event_queue.push q ~time:1.0 "third";
+  let order = List.init 3 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list string)) "fifo ties" [ "first"; "second"; "third" ] order
+
+let test_eq_size () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
+  for i = 1 to 100 do
+    Event_queue.push q ~time:(float_of_int (100 - i)) i
+  done;
+  Alcotest.(check int) "size" 100 (Event_queue.size q);
+  ignore (Event_queue.pop q);
+  Alcotest.(check int) "size after pop" 99 (Event_queue.size q)
+
+let prop_eq_sorted_output =
+  QCheck.Test.make ~name:"event queue pops in time order" ~count:200
+    QCheck.(list (float_range 0.0 1000.0))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.push q ~time:t ()) times;
+      let rec drain last =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+(* --- Engine --- *)
+
+let test_engine_runs_in_order () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule engine ~delay:2.0 (fun () -> log := "b" :: !log));
+  ignore (Engine.schedule engine ~delay:1.0 (fun () -> log := "a" :: !log));
+  ignore (Engine.schedule engine ~delay:3.0 (fun () -> log := "c" :: !log));
+  Engine.run engine;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_float "clock at last event" 3.0 (Engine.now engine)
+
+let test_engine_nested_scheduling () =
+  let engine = Engine.create () in
+  let fired = ref 0.0 in
+  ignore
+    (Engine.schedule engine ~delay:1.0 (fun () ->
+         ignore (Engine.schedule engine ~delay:0.5 (fun () -> fired := Engine.now engine))));
+  Engine.run engine;
+  check_float "nested time" 1.5 !fired
+
+let test_engine_cancel () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let ev = Engine.schedule engine ~delay:1.0 (fun () -> fired := true) in
+  Engine.cancel engine ev;
+  Engine.run engine;
+  Alcotest.(check bool) "cancelled event did not fire" false !fired;
+  Alcotest.(check int) "no pending" 0 (Engine.pending engine)
+
+let test_engine_run_until () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule engine ~delay:(float_of_int i) (fun () -> incr count))
+  done;
+  Engine.run ~until:5.5 engine;
+  Alcotest.(check int) "five fired" 5 !count;
+  check_float "clock clamped to until" 5.5 (Engine.now engine);
+  Engine.run engine;
+  Alcotest.(check int) "rest fired" 10 !count
+
+let test_engine_negative_delay_clamped () =
+  let engine = Engine.create () in
+  let at = ref (-1.0) in
+  ignore
+    (Engine.schedule engine ~delay:1.0 (fun () ->
+         ignore (Engine.schedule engine ~delay:(-5.0) (fun () -> at := Engine.now engine))));
+  Engine.run engine;
+  check_float "clamped to now" 1.0 !at
+
+let test_engine_same_time_fifo () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule engine ~delay:1.0 (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule engine ~delay:1.0 (fun () -> log := 2 :: !log));
+  Engine.run engine;
+  Alcotest.(check (list int)) "fifo" [ 1; 2 ] (List.rev !log)
+
+(* --- Cpu --- *)
+
+let test_cpu_serializes_work () =
+  let engine = Engine.create () in
+  let cpu = Cpu.create engine in
+  let finish_times = ref [] in
+  Cpu.submit cpu ~cost:1.0 (fun () -> finish_times := Engine.now engine :: !finish_times);
+  Cpu.submit cpu ~cost:2.0 (fun () -> finish_times := Engine.now engine :: !finish_times);
+  Engine.run engine;
+  Alcotest.(check (list (float 1e-12))) "work is serial" [ 1.0; 3.0 ] (List.rev !finish_times)
+
+let test_cpu_idle_gap () =
+  let engine = Engine.create () in
+  let cpu = Cpu.create engine in
+  let t2 = ref 0.0 in
+  Cpu.submit cpu ~cost:0.5 (fun () -> ());
+  (* Submit the second item at t=10, after the core idled. *)
+  ignore
+    (Engine.schedule engine ~delay:10.0 (fun () ->
+         Cpu.submit cpu ~cost:0.5 (fun () -> t2 := Engine.now engine)));
+  Engine.run engine;
+  check_float "starts when submitted" 10.5 !t2;
+  check_float "busy time counts only work" 1.0 (Cpu.busy_time cpu)
+
+let test_cpu_utilization () =
+  let engine = Engine.create () in
+  let cpu = Cpu.create engine in
+  Cpu.submit cpu ~cost:2.0 (fun () -> ());
+  ignore (Engine.schedule engine ~delay:4.0 (fun () -> ()));
+  Engine.run engine;
+  check_float "utilization" 0.5 (Cpu.utilization cpu)
+
+(* --- Link --- *)
+
+let test_link_serialization_delay () =
+  let engine = Engine.create () in
+  let arrived = ref [] in
+  let link =
+    Link.create engine ~rate_bps:8000.0 ~delay:0.1 ~size:(fun b -> b)
+      ~deliver:(fun b -> arrived := (Engine.now engine, b) :: !arrived)
+      ()
+  in
+  (* 1000 bytes at 8000 bps = 1 s serialization + 0.1 s propagation. *)
+  ignore (Link.send link 1000);
+  Engine.run engine;
+  Alcotest.(check (list (pair (float 1e-9) int))) "arrival" [ (1.1, 1000) ] !arrived
+
+let test_link_back_to_back () =
+  let engine = Engine.create () in
+  let arrived = ref [] in
+  let link =
+    Link.create engine ~rate_bps:8000.0 ~delay:0.0 ~size:(fun b -> b)
+      ~deliver:(fun b -> arrived := (Engine.now engine, b) :: !arrived)
+      ()
+  in
+  ignore (Link.send link 1000);
+  ignore (Link.send link 1000);
+  Engine.run engine;
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "sequential serialization"
+    [ (1.0, 1000); (2.0, 1000) ]
+    (List.rev !arrived)
+
+let test_link_queue_drop () =
+  let engine = Engine.create () in
+  let link =
+    Link.create engine ~rate_bps:8.0 ~delay:0.0 ~queue_capacity:100 ~size:(fun b -> b)
+      ~deliver:(fun _ -> ())
+      ()
+  in
+  Alcotest.(check bool) "first goes to wire" true (Link.send link 100);
+  Alcotest.(check bool) "second queues" true (Link.send link 100);
+  Alcotest.(check bool) "third dropped" false (Link.send link 100);
+  Alcotest.(check int) "drop counted" 1 (Link.drops link)
+
+let test_link_tap_and_counters () =
+  let engine = Engine.create () in
+  let tapped = ref 0 in
+  let link =
+    Link.create engine ~rate_bps:1e6 ~delay:0.0 ~size:(fun b -> b) ~deliver:(fun _ -> ()) ()
+  in
+  Link.set_tap link (fun ~time:_ _ -> incr tapped);
+  ignore (Link.send link 500);
+  ignore (Link.send link 300);
+  Engine.run engine;
+  Alcotest.(check int) "tap saw both" 2 !tapped;
+  Alcotest.(check int) "frames" 2 (Link.frames_sent link);
+  Alcotest.(check int) "bytes" 800 (Link.bytes_sent link)
+
+let test_link_on_idle () =
+  let engine = Engine.create () in
+  let idle_at = ref [] in
+  let link =
+    Link.create engine ~rate_bps:8000.0 ~delay:0.0 ~size:(fun b -> b) ~deliver:(fun _ -> ()) ()
+  in
+  Link.set_on_idle link (fun () -> idle_at := Engine.now engine :: !idle_at);
+  ignore (Link.send link 1000);
+  ignore (Link.send link 1000);
+  Engine.run engine;
+  (* Idle fires only once, after both queued frames are done. *)
+  Alcotest.(check (list (float 1e-9))) "idle once at end" [ 2.0 ] !idle_at
+
+let test_link_preserves_order () =
+  let engine = Engine.create () in
+  let arrived = ref [] in
+  let link =
+    Link.create engine ~rate_bps:1e9 ~delay:0.01 ~size:(fun _ -> 100)
+      ~deliver:(fun x -> arrived := x :: !arrived)
+      ()
+  in
+  for i = 1 to 50 do
+    ignore (Link.send link i)
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "fifo delivery" (List.init 50 (fun i -> i + 1)) (List.rev !arrived)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "sim.event_queue",
+      [
+        Alcotest.test_case "ordering" `Quick test_eq_ordering;
+        Alcotest.test_case "fifo ties" `Quick test_eq_fifo_ties;
+        Alcotest.test_case "size" `Quick test_eq_size;
+        q prop_eq_sorted_output;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
+        Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+        Alcotest.test_case "cancel" `Quick test_engine_cancel;
+        Alcotest.test_case "run until" `Quick test_engine_run_until;
+        Alcotest.test_case "negative delay clamped" `Quick test_engine_negative_delay_clamped;
+        Alcotest.test_case "same-time fifo" `Quick test_engine_same_time_fifo;
+      ] );
+    ( "sim.cpu",
+      [
+        Alcotest.test_case "serializes work" `Quick test_cpu_serializes_work;
+        Alcotest.test_case "idle gap" `Quick test_cpu_idle_gap;
+        Alcotest.test_case "utilization" `Quick test_cpu_utilization;
+      ] );
+    ( "sim.link",
+      [
+        Alcotest.test_case "serialization+propagation" `Quick test_link_serialization_delay;
+        Alcotest.test_case "back-to-back frames" `Quick test_link_back_to_back;
+        Alcotest.test_case "queue drop" `Quick test_link_queue_drop;
+        Alcotest.test_case "tap and counters" `Quick test_link_tap_and_counters;
+        Alcotest.test_case "on_idle" `Quick test_link_on_idle;
+        Alcotest.test_case "preserves order" `Quick test_link_preserves_order;
+      ] );
+  ]

@@ -1,0 +1,614 @@
+(* Tests for stob_tcp: unit tests for RTT/pacer/qdisc/config/hooks and
+   integration tests driving full connections over simulated paths. *)
+
+module Engine = Stob_sim.Engine
+module Cpu = Stob_sim.Cpu
+module Units = Stob_util.Units
+module Packet = Stob_net.Packet
+module Trace = Stob_net.Trace
+module Capture = Stob_net.Capture
+open Stob_tcp
+
+let check_float margin = Alcotest.(check (float margin))
+
+(* --- Rtt --- *)
+
+let test_rtt_first_sample () =
+  let r = Rtt.create Config.default in
+  Alcotest.(check (option (float 0.0))) "no srtt yet" None (Rtt.srtt r);
+  check_float 1e-9 "initial rto" 1.0 (Rtt.rto r);
+  Rtt.observe r 0.1;
+  Alcotest.(check (option (float 1e-9))) "srtt = sample" (Some 0.1) (Rtt.srtt r);
+  (* rto = srtt + 4*rttvar = 0.1 + 4*0.05 = 0.3 *)
+  check_float 1e-9 "rto" 0.3 (Rtt.rto r)
+
+let test_rtt_smoothing () =
+  let r = Rtt.create Config.default in
+  Rtt.observe r 0.1;
+  Rtt.observe r 0.2;
+  (* srtt = 0.875*0.1 + 0.125*0.2 = 0.1125 *)
+  check_float 1e-9 "smoothed" 0.1125 (Option.get (Rtt.srtt r))
+
+let test_rtt_min_floor () =
+  let r = Rtt.create Config.default in
+  Rtt.observe r 0.001;
+  check_float 1e-9 "floored at rto_min" 0.2 (Rtt.rto r)
+
+let test_rtt_backoff () =
+  let r = Rtt.create Config.default in
+  Rtt.observe r 0.1;
+  let base = Rtt.rto r in
+  Rtt.backoff r;
+  check_float 1e-9 "doubled" (2.0 *. base) (Rtt.rto r);
+  Rtt.reset_backoff r;
+  check_float 1e-9 "reset" base (Rtt.rto r)
+
+let test_rtt_min_rtt () =
+  let r = Rtt.create Config.default in
+  Rtt.observe r 0.3;
+  Rtt.observe r 0.1;
+  Rtt.observe r 0.2;
+  Alcotest.(check (option (float 1e-9))) "min" (Some 0.1) (Rtt.min_rtt r)
+
+(* --- Pacer --- *)
+
+let test_pacer_spacing () =
+  let p = Pacer.create () in
+  check_float 1e-12 "first departs now" 5.0 (Pacer.next_departure p ~now:5.0);
+  Pacer.commit p ~departure:5.0 ~rate_bps:8000.0 ~bytes:1000;
+  (* 1000 B at 8000 b/s = 1 s spacing *)
+  check_float 1e-12 "second waits" 6.0 (Pacer.next_departure p ~now:5.0);
+  check_float 1e-12 "late now dominates" 7.0 (Pacer.next_departure p ~now:7.0)
+
+let test_pacer_infinite_rate () =
+  let p = Pacer.create () in
+  Pacer.commit p ~departure:1.0 ~rate_bps:infinity ~bytes:100000;
+  check_float 1e-12 "no spacing" 1.0 (Pacer.next_departure p ~now:1.0)
+
+let test_pacer_reset () =
+  let p = Pacer.create () in
+  Pacer.commit p ~departure:0.0 ~rate_bps:8.0 ~bytes:1000;
+  Pacer.reset p;
+  check_float 1e-12 "reset clears budget" 0.5 (Pacer.next_departure p ~now:0.5)
+
+(* --- Config --- *)
+
+let test_tso_autosize_unpaced () =
+  let c = Config.default in
+  let bytes = Config.tso_autosize c ~pacing_rate_bps:infinity in
+  Alcotest.(check int) "max segments" (65535 / c.Config.mss * c.Config.mss) bytes
+
+let test_tso_autosize_slow_rate () =
+  let c = Config.default in
+  (* 10 Mb/s * 1 ms = 1250 B -> clamps to tso_min (2 MSS). *)
+  let bytes = Config.tso_autosize c ~pacing_rate_bps:1e7 in
+  Alcotest.(check int) "min two segments" (2 * c.Config.mss) bytes
+
+let test_tso_autosize_mid_rate () =
+  let c = Config.default in
+  (* 100 Mb/s * 1 ms = 12500 B -> 8 segments of 1448. *)
+  let bytes = Config.tso_autosize c ~pacing_rate_bps:1e8 in
+  Alcotest.(check int) "eight segments" (8 * c.Config.mss) bytes
+
+(* --- Hooks --- *)
+
+let test_hooks_clamp () =
+  let stack = { Hooks.tso_bytes = 10000; packet_payload = 1448; earliest_departure = 2.0 } in
+  let proposed = { Hooks.tso_bytes = 20000; packet_payload = 9000; earliest_departure = 1.0 } in
+  let c = Hooks.clamp ~stack proposed in
+  Alcotest.(check int) "tso clamped" 10000 c.Hooks.tso_bytes;
+  Alcotest.(check int) "payload clamped" 1448 c.Hooks.packet_payload;
+  check_float 1e-12 "departure clamped" 2.0 c.Hooks.earliest_departure
+
+let test_hooks_clamp_allows_reduction () =
+  let stack = { Hooks.tso_bytes = 10000; packet_payload = 1448; earliest_departure = 2.0 } in
+  let proposed = { Hooks.tso_bytes = 2000; packet_payload = 700; earliest_departure = 3.5 } in
+  let c = Hooks.clamp ~stack proposed in
+  Alcotest.(check int) "smaller tso ok" 2000 c.Hooks.tso_bytes;
+  Alcotest.(check int) "smaller payload ok" 700 c.Hooks.packet_payload;
+  check_float 1e-12 "later departure ok" 3.5 c.Hooks.earliest_departure
+
+let prop_hooks_clamp_safe =
+  QCheck.Test.make ~name:"clamp never exceeds the stack decision" ~count:300
+    QCheck.(
+      pair
+        (pair (int_range 1 100000) (int_range 1 9000))
+        (pair (int_range (-100000) 200000) (pair (int_range (-9000) 18000) (float_range 0.0 10.0))))
+    (fun ((stso, spay), (ptso, (ppay, pdep))) ->
+      let stack = { Hooks.tso_bytes = stso; packet_payload = spay; earliest_departure = 5.0 } in
+      let c = Hooks.clamp ~stack { Hooks.tso_bytes = ptso; packet_payload = ppay; earliest_departure = pdep } in
+      c.Hooks.tso_bytes <= stso && c.Hooks.tso_bytes >= 1
+      && c.Hooks.packet_payload <= spay
+      && c.Hooks.packet_payload >= 1
+      && c.Hooks.earliest_departure >= 5.0)
+
+(* --- Qdisc --- *)
+
+let test_qdisc_fifo_order () =
+  let q = Qdisc.fifo ~limit_bytes:10000 ~size:(fun x -> x) in
+  Alcotest.(check bool) "enq a" true (Qdisc.enqueue q ~flow:1 100);
+  Alcotest.(check bool) "enq b" true (Qdisc.enqueue q ~flow:2 200);
+  Alcotest.(check (option (pair int int))) "fifo 1" (Some (1, 100)) (Qdisc.dequeue q);
+  Alcotest.(check (option (pair int int))) "fifo 2" (Some (2, 200)) (Qdisc.dequeue q);
+  Alcotest.(check (option (pair int int))) "empty" None (Qdisc.dequeue q)
+
+let test_qdisc_fifo_limit () =
+  let q = Qdisc.fifo ~limit_bytes:250 ~size:(fun x -> x) in
+  Alcotest.(check bool) "fits" true (Qdisc.enqueue q ~flow:1 200);
+  Alcotest.(check bool) "dropped" false (Qdisc.enqueue q ~flow:1 100);
+  Alcotest.(check int) "drop counted" 1 (Qdisc.drops q);
+  Alcotest.(check int) "backlog" 200 (Qdisc.backlog_bytes q)
+
+let test_qdisc_fq_fairness () =
+  let q = Qdisc.fq ~quantum:1000 ~limit_bytes:1_000_000 ~size:(fun x -> x) () in
+  (* Flow 1 queues 10 items, flow 2 queues 10; service should interleave. *)
+  for _ = 1 to 10 do
+    ignore (Qdisc.enqueue q ~flow:1 1000);
+    ignore (Qdisc.enqueue q ~flow:2 1000)
+  done;
+  let first_eight = List.init 8 (fun _ -> fst (Option.get (Qdisc.dequeue q))) in
+  let f1 = List.length (List.filter (fun f -> f = 1) first_eight) in
+  Alcotest.(check int) "balanced service" 4 f1
+
+let test_qdisc_fq_backlog_accounting () =
+  let q = Qdisc.fq ~limit_bytes:1_000_000 ~size:(fun x -> x) () in
+  ignore (Qdisc.enqueue q ~flow:7 500);
+  ignore (Qdisc.enqueue q ~flow:7 300);
+  ignore (Qdisc.enqueue q ~flow:8 200);
+  Alcotest.(check int) "flow 7 backlog" 800 (Qdisc.flow_backlog q ~flow:7);
+  Alcotest.(check int) "total" 1000 (Qdisc.backlog_bytes q);
+  ignore (Qdisc.dequeue q);
+  Alcotest.(check bool) "total decreased" true (Qdisc.backlog_bytes q < 1000)
+
+let test_qdisc_fq_drains_all () =
+  let q = Qdisc.fq ~limit_bytes:1_000_000 ~size:(fun x -> x) () in
+  let n = ref 0 in
+  for i = 1 to 5 do
+    for _ = 1 to i do
+      ignore (Qdisc.enqueue q ~flow:i 1500)
+    done
+  done;
+  let rec drain () =
+    match Qdisc.dequeue q with
+    | Some _ ->
+        incr n;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "all items served" 15 !n;
+  Alcotest.(check int) "backlog empty" 0 (Qdisc.backlog_bytes q)
+
+(* --- Integration: full connections --- *)
+
+type world = {
+  engine : Engine.t;
+  path : Path.t;
+  conn : Connection.t;
+  received : int ref;  (* client-side delivered bytes *)
+  server_received : int ref;
+  last_rx : float ref;  (* time of the most recent client delivery *)
+}
+
+let make_world ?(rate_bps = Units.mbps 100.0) ?(delay = 0.01) ?queue_capacity ?cc ?server_cpu
+    ?server_hooks ?client_config ?server_config () =
+  let engine = Engine.create () in
+  let path = Path.create ~engine ~rate_bps ~delay ?queue_capacity () in
+  let conn =
+    Connection.create ~engine ~path ~flow:1 ?cc ?server_cpu ?server_hooks ?client_config
+      ?server_config ()
+  in
+  let received = ref 0 and server_received = ref 0 and last_rx = ref 0.0 in
+  Endpoint.set_on_receive (Connection.client conn) (fun n ->
+      received := !received + n;
+      last_rx := Engine.now engine);
+  Endpoint.set_on_receive (Connection.server conn) (fun n -> server_received := !server_received + n);
+  { engine; path; conn; received; server_received; last_rx }
+
+(* Client requests [request] bytes; server responds with [response] bytes once
+   the request fully arrives. *)
+let request_response w ~request ~response =
+  let server = Connection.server w.conn and client = Connection.client w.conn in
+  Endpoint.set_on_receive server (fun n ->
+      w.server_received := !(w.server_received) + n;
+      if !(w.server_received) = request then Endpoint.write server response);
+  Connection.on_established w.conn (fun () -> Endpoint.write client request);
+  Connection.open_ w.conn;
+  Engine.run ~until:60.0 w.engine
+
+let test_handshake () =
+  let w = make_world () in
+  Connection.open_ w.conn;
+  Engine.run ~until:1.0 w.engine;
+  Alcotest.(check bool) "client established" true (Endpoint.established (Connection.client w.conn));
+  Alcotest.(check bool) "server established" true (Endpoint.established (Connection.server w.conn))
+
+let test_small_transfer () =
+  let w = make_world () in
+  request_response w ~request:300 ~response:5000;
+  Alcotest.(check int) "server got request" 300 !(w.server_received);
+  Alcotest.(check int) "client got response" 5000 !(w.received)
+
+let test_bulk_transfer_conserves_bytes () =
+  let w = make_world () in
+  let total = 2_000_000 in
+  request_response w ~request:100 ~response:total;
+  Alcotest.(check int) "every byte delivered exactly once" total !(w.received)
+
+let test_bulk_transfer_link_bound_throughput () =
+  (* 100 Mb/s link, 20 ms RTT, 2 MB transfer: should finish close to the
+     serialization bound once slow start opens up. *)
+  let w = make_world ~rate_bps:(Units.mbps 100.0) ~delay:0.01 () in
+  request_response w ~request:100 ~response:2_000_000;
+  let elapsed = !(w.last_rx) in
+  Alcotest.(check bool) "all delivered" true (!(w.received) = 2_000_000);
+  (* Serialization alone takes 0.16 s; allow slow start and acking overhead. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "finished in sane time (%.3f s)" elapsed)
+    true
+    (elapsed > 0.16 && elapsed < 3.0)
+
+let test_transfer_no_unneeded_retransmissions () =
+  let w = make_world () in
+  request_response w ~request:100 ~response:500_000;
+  Alcotest.(check int) "no retransmissions on a clean path" 0
+    (Endpoint.retransmissions (Connection.server w.conn))
+
+let test_loss_recovery () =
+  (* Tiny bottleneck queue forces drops; the transfer must still complete. *)
+  let w = make_world ~rate_bps:(Units.mbps 20.0) ~delay:0.02 ~queue_capacity:20_000 () in
+  request_response w ~request:100 ~response:1_000_000;
+  Alcotest.(check int) "all bytes despite drops" 1_000_000 !(w.received);
+  Alcotest.(check bool) "drops happened" true (Path.drops w.path > 0);
+  Alcotest.(check bool) "retransmissions happened" true
+    (Endpoint.retransmissions (Connection.server w.conn) > 0)
+
+let cca_cases = [ ("reno", Reno.make); ("cubic", Cubic.make); ("bbr", Bbr.make) ]
+
+let test_all_ccas_complete () =
+  List.iter
+    (fun (name, cc) ->
+      let w = make_world ~cc () in
+      request_response w ~request:100 ~response:1_000_000;
+      Alcotest.(check int) (name ^ " delivers") 1_000_000 !(w.received))
+    cca_cases
+
+let test_all_ccas_with_loss () =
+  List.iter
+    (fun (name, cc) ->
+      let w = make_world ~cc ~rate_bps:(Units.mbps 20.0) ~delay:0.02 ~queue_capacity:30_000 () in
+      request_response w ~request:100 ~response:500_000;
+      Alcotest.(check int) (name ^ " survives loss") 500_000 !(w.received))
+    cca_cases
+
+let test_rtt_estimate_converges () =
+  let w = make_world ~delay:0.025 () in
+  request_response w ~request:100 ~response:500_000;
+  match Endpoint.srtt (Connection.server w.conn) with
+  | None -> Alcotest.fail "no RTT estimate"
+  | Some srtt ->
+      (* Propagation RTT is 50 ms; queueing adds some. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "srtt sane (%.4f)" srtt)
+        true
+        (srtt >= 0.045 && srtt < 0.2)
+
+let test_fin_closes_both () =
+  let w = make_world () in
+  let server = Connection.server w.conn and client = Connection.client w.conn in
+  Endpoint.set_on_receive server (fun n ->
+      w.server_received := !(w.server_received) + n;
+      if !(w.server_received) = 100 then begin
+        Endpoint.write server 10_000;
+        Endpoint.close server
+      end);
+  let client_saw_fin = ref false in
+  Endpoint.set_on_fin client (fun () ->
+      client_saw_fin := true;
+      Endpoint.close client);
+  Connection.on_established w.conn (fun () -> Endpoint.write client 100);
+  Connection.open_ w.conn;
+  Engine.run ~until:30.0 w.engine;
+  Alcotest.(check bool) "client saw fin" true !client_saw_fin;
+  Alcotest.(check int) "data before fin" 10_000 !(w.received);
+  Alcotest.(check bool) "server closed" true (Endpoint.closed server);
+  Alcotest.(check bool) "client closed" true (Endpoint.closed client)
+
+let test_capture_sees_both_directions () =
+  let w = make_world () in
+  request_response w ~request:100 ~response:100_000;
+  let trace = Capture.trace (Path.capture w.path) in
+  Alcotest.(check bool) "has outgoing" true (Trace.count ~dir:Packet.Outgoing trace > 0);
+  Alcotest.(check bool) "has incoming" true (Trace.count ~dir:Packet.Incoming trace > 0);
+  Alcotest.(check bool) "sorted" true (Trace.is_sorted trace);
+  (* Incoming wire bytes cover the response plus headers. *)
+  Alcotest.(check bool) "incoming bytes >= response" true
+    (Trace.bytes ~dir:Packet.Incoming trace >= 100_000)
+
+let test_packets_respect_mss () =
+  let w = make_world () in
+  request_response w ~request:100 ~response:200_000;
+  let trace = Capture.trace (Path.capture w.path) in
+  Array.iter
+    (fun e ->
+      Alcotest.(check bool) "within MTU" true
+        (e.Trace.size <= Config.default.Config.mss + Packet.default_header_bytes + 8))
+    trace
+
+let test_hook_shrinks_packets () =
+  (* A Stob hook that halves the packet payload must yield more, smaller
+     incoming packets. *)
+  let hook =
+    {
+      Hooks.on_segment =
+        (fun ~now:_ ~flow:_ ~phase:_ d -> { d with Hooks.packet_payload = d.Hooks.packet_payload / 2 });
+    }
+  in
+  let baseline = make_world () in
+  request_response baseline ~request:100 ~response:300_000;
+  let hooked = make_world ~server_hooks:hook () in
+  request_response hooked ~request:100 ~response:300_000;
+  Alcotest.(check int) "hooked still delivers" 300_000 !(hooked.received);
+  let count w = Trace.count ~dir:Packet.Incoming (Capture.trace (Path.capture w.path)) in
+  Alcotest.(check bool) "more packets with smaller payloads" true (count hooked > count baseline);
+  let max_in w =
+    Array.fold_left
+      (fun acc e -> if e.Trace.dir = Packet.Incoming then max acc e.Trace.size else acc)
+      0
+      (Capture.trace (Path.capture w.path))
+  in
+  Alcotest.(check bool) "hooked packets smaller" true (max_in hooked < max_in baseline)
+
+let test_hook_cannot_inflate () =
+  (* A malicious hook asking for larger/earlier transmissions is clamped. *)
+  let hook =
+    {
+      Hooks.on_segment =
+        (fun ~now:_ ~flow:_ ~phase:_ d ->
+          {
+            Hooks.tso_bytes = d.Hooks.tso_bytes * 10;
+            packet_payload = 9000;
+            earliest_departure = d.Hooks.earliest_departure -. 1.0;
+          });
+    }
+  in
+  let w = make_world ~server_hooks:hook () in
+  request_response w ~request:100 ~response:300_000;
+  Alcotest.(check int) "delivers" 300_000 !(w.received);
+  let trace = Capture.trace (Path.capture w.path) in
+  Array.iter
+    (fun e ->
+      Alcotest.(check bool) "never jumbo" true
+        (e.Trace.size <= Config.default.Config.mss + Packet.default_header_bytes + 8))
+    trace
+
+let test_hook_delay_slows_transfer () =
+  (* Delaying every segment departure must lengthen the transfer. *)
+  let hook =
+    {
+      Hooks.on_segment =
+        (fun ~now ~flow:_ ~phase:_ d ->
+          { d with Hooks.earliest_departure = Float.max d.Hooks.earliest_departure now +. 0.002 });
+    }
+  in
+  let baseline = make_world () in
+  request_response baseline ~request:100 ~response:200_000;
+  let t_base = !(baseline.last_rx) in
+  let delayed = make_world ~server_hooks:hook () in
+  request_response delayed ~request:100 ~response:200_000;
+  let t_delayed = !(delayed.last_rx) in
+  Alcotest.(check int) "delivers" 200_000 !(delayed.received);
+  Alcotest.(check bool)
+    (Printf.sprintf "slower (%.3f vs %.3f)" t_delayed t_base)
+    true (t_delayed > t_base)
+
+let test_dummy_packets_on_wire_not_delivered () =
+  let w = make_world () in
+  let server = Connection.server w.conn and client = Connection.client w.conn in
+  Endpoint.set_on_receive server (fun n ->
+      w.server_received := !(w.server_received) + n;
+      if !(w.server_received) = 100 then begin
+        Endpoint.send_dummy server 900;
+        Endpoint.write server 10_000
+      end);
+  Connection.on_established w.conn (fun () -> Endpoint.write client 100);
+  Connection.open_ w.conn;
+  Engine.run ~until:30.0 w.engine;
+  Alcotest.(check int) "only real bytes delivered" 10_000 !(w.received);
+  ignore client;
+  let trace = Capture.trace (Path.capture w.path) in
+  let in_bytes = Trace.bytes ~dir:Packet.Incoming trace in
+  Alcotest.(check bool) "dummy visible on wire" true (in_bytes >= 10_000 + 900)
+
+let test_cpu_bound_throughput () =
+  (* Expensive CPU on a fast link: throughput should be CPU-bound. *)
+  let engine_run costs =
+    let engine = Engine.create () in
+    let path = Path.create ~engine ~rate_bps:(Units.gbps 100.0) ~delay:(Units.usec 25.0) () in
+    let cpu = Cpu.create engine in
+    let conn = Connection.create ~engine ~path ~flow:1 ~server_cpu:(cpu, costs) () in
+    let received = ref 0 in
+    Endpoint.set_on_receive (Connection.client conn) (fun n -> received := !received + n);
+    Endpoint.set_on_receive (Connection.server conn) (fun n ->
+        if n > 0 && Endpoint.unsent (Connection.server conn) = 0 then
+          Endpoint.write (Connection.server conn) 400_000_000);
+    Connection.on_established conn (fun () -> Endpoint.write (Connection.client conn) 100);
+    Connection.open_ conn;
+    (* Short window so neither configuration finishes: measured throughput is
+       the steady-state rate, not a completion artifact. *)
+    Engine.run ~until:0.02 engine;
+    Stob_util.Units.throughput_bps ~bytes:!received ~seconds:(Engine.now engine)
+  in
+  let free = engine_run Cpu_costs.none in
+  let costly =
+    engine_run { Cpu_costs.per_segment = 20e-6; per_packet = 500e-9; per_byte = 0.2e-9 }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "cpu slows sender (%.1f vs %.1f Gb/s)" (free /. 1e9) (costly /. 1e9))
+    true
+    (costly < free *. 0.8)
+
+let test_pacing_spreads_departures () =
+  (* With pacing on a fat link, data departures should not all be line-rate
+     back-to-back: gaps appear between TSO bursts. *)
+  let w = make_world ~rate_bps:(Units.gbps 10.0) ~delay:0.01 () in
+  request_response w ~request:100 ~response:2_000_000;
+  let trace = Capture.trace (Path.capture w.path) in
+  let gaps = Trace.interarrivals ~dir:Packet.Incoming trace in
+  let line_rate_gap = Units.tx_time ~rate_bps:(Units.gbps 10.0) ~bytes:1500 in
+  let spread = Array.exists (fun g -> g > 3.0 *. line_rate_gap) gaps in
+  Alcotest.(check bool) "pacing creates gaps" true spread
+
+let test_small_rwnd_limits_inflight () =
+  (* HTTPOS-style tiny advertised window throttles the sender. *)
+  let client_config = { Config.default with Config.rcv_wnd = 8 * 1448 } in
+  let w = make_world ~client_config () in
+  request_response w ~request:100 ~response:500_000;
+  Alcotest.(check int) "delivers" 500_000 !(w.received);
+  let w_big = make_world () in
+  request_response w_big ~request:100 ~response:500_000;
+  Alcotest.(check bool) "small window is slower" true (!(w.last_rx) > !(w_big.last_rx))
+
+let test_fq_fairness_between_flows () =
+  (* Two server-to-client bulk flows share a path with the fq qdisc on the
+     server egress: they should split the bottleneck roughly evenly even
+     though one starts with a head start. *)
+  let engine = Engine.create () in
+  let path =
+    Path.create ~engine ~rate_bps:(Units.mbps 50.0) ~delay:0.01 ~server_fq:true ()
+  in
+  let received = [| 0; 0 |] in
+  let conns =
+    Array.init 2 (fun i ->
+        let conn = Connection.create ~engine ~path ~flow:(i + 1) () in
+        Endpoint.set_on_receive (Connection.client conn) (fun n ->
+            received.(i) <- received.(i) + n);
+        Endpoint.set_on_receive (Connection.server conn) (fun b ->
+            if b = 64 then Endpoint.write (Connection.server conn) 20_000_000);
+        Connection.on_established conn (fun () ->
+            Endpoint.write (Connection.client conn) 64);
+        conn)
+  in
+  Connection.open_ conns.(0);
+  (* Second flow starts half a second later. *)
+  ignore (Engine.schedule engine ~delay:0.5 (fun () -> Connection.open_ conns.(1)));
+  Engine.run ~until:4.0 engine;
+  (* Compare throughput over the contended window: flow 1's share should
+     not starve flow 2 (DRR gives each a fair quantum). *)
+  Alcotest.(check bool) "both flows made progress" true
+    (received.(0) > 1_000_000 && received.(1) > 1_000_000);
+  let r0 = float_of_int received.(0) and r1 = float_of_int received.(1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "no starvation (%.1f MB vs %.1f MB)" (r0 /. 1e6) (r1 /. 1e6))
+    true
+    (r1 > r0 /. 6.0)
+
+let test_sack_heavy_loss_recovery () =
+  (* A very shallow bottleneck causes mass loss in slow start; SACK-based
+     recovery must restore throughput without an RTO death spiral. *)
+  let w = make_world ~rate_bps:(Units.mbps 30.0) ~delay:0.02 ~queue_capacity:40_000 () in
+  request_response w ~request:100 ~response:3_000_000;
+  Alcotest.(check int) "every byte delivered" 3_000_000 !(w.received);
+  (* 3 MB at 30 Mb/s is 0.8 s minimum; anything under ~5x is a live
+     recovery, not a timeout crawl. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "finishes promptly (%.2f s)" !(w.last_rx))
+    true
+    (!(w.last_rx) < 4.0)
+
+let test_sack_blocks_on_acks () =
+  (* Force reordering-free loss and check SACK blocks appear on the wire. *)
+  let w = make_world ~rate_bps:(Units.mbps 20.0) ~delay:0.02 ~queue_capacity:20_000 () in
+  let saw_sack = ref false in
+  Path.set_serialized_callback w.path ~flow:1 ~dir:Packet.Outgoing (fun p ->
+      if p.Packet.sack <> [] then saw_sack := true);
+  request_response w ~request:100 ~response:1_000_000;
+  Alcotest.(check bool) "client acks carried SACK blocks" true !saw_sack
+
+(* Property: whatever the path conditions, a transfer delivers exactly the
+   bytes written — the stack never loses or duplicates data. *)
+let prop_delivery_integrity =
+  QCheck.Test.make ~name:"tcp delivers exactly the written bytes under any loss" ~count:25
+    QCheck.(
+      quad (int_range 15_000 120_000) (* queue capacity *)
+        (int_range 10_000 400_000) (* response bytes *)
+        (int_range 5 80) (* rate Mb/s *)
+        (int_range 1 40) (* one-way delay ms *))
+    (fun (queue_capacity, response, rate, delay_ms) ->
+      let w =
+        make_world
+          ~rate_bps:(Units.mbps (float_of_int rate))
+          ~delay:(float_of_int delay_ms *. 1e-3)
+          ~queue_capacity ()
+      in
+      request_response w ~request:100 ~response;
+      !(w.received) = response)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "tcp.rtt",
+      [
+        Alcotest.test_case "first sample" `Quick test_rtt_first_sample;
+        Alcotest.test_case "smoothing" `Quick test_rtt_smoothing;
+        Alcotest.test_case "rto floor" `Quick test_rtt_min_floor;
+        Alcotest.test_case "backoff" `Quick test_rtt_backoff;
+        Alcotest.test_case "min rtt" `Quick test_rtt_min_rtt;
+      ] );
+    ( "tcp.pacer",
+      [
+        Alcotest.test_case "spacing" `Quick test_pacer_spacing;
+        Alcotest.test_case "infinite rate" `Quick test_pacer_infinite_rate;
+        Alcotest.test_case "reset" `Quick test_pacer_reset;
+      ] );
+    ( "tcp.config",
+      [
+        Alcotest.test_case "tso unpaced" `Quick test_tso_autosize_unpaced;
+        Alcotest.test_case "tso slow rate" `Quick test_tso_autosize_slow_rate;
+        Alcotest.test_case "tso mid rate" `Quick test_tso_autosize_mid_rate;
+      ] );
+    ( "tcp.hooks",
+      [
+        Alcotest.test_case "clamp" `Quick test_hooks_clamp;
+        Alcotest.test_case "clamp allows reduction" `Quick test_hooks_clamp_allows_reduction;
+        q prop_hooks_clamp_safe;
+      ] );
+    ( "tcp.qdisc",
+      [
+        Alcotest.test_case "fifo order" `Quick test_qdisc_fifo_order;
+        Alcotest.test_case "fifo limit" `Quick test_qdisc_fifo_limit;
+        Alcotest.test_case "fq fairness" `Quick test_qdisc_fq_fairness;
+        Alcotest.test_case "fq backlog accounting" `Quick test_qdisc_fq_backlog_accounting;
+        Alcotest.test_case "fq drains all" `Quick test_qdisc_fq_drains_all;
+      ] );
+    ( "tcp.connection",
+      [
+        Alcotest.test_case "handshake" `Quick test_handshake;
+        Alcotest.test_case "small transfer" `Quick test_small_transfer;
+        Alcotest.test_case "bulk conserves bytes" `Quick test_bulk_transfer_conserves_bytes;
+        Alcotest.test_case "link-bound throughput" `Quick test_bulk_transfer_link_bound_throughput;
+        Alcotest.test_case "clean path, no rtx" `Quick test_transfer_no_unneeded_retransmissions;
+        Alcotest.test_case "loss recovery" `Quick test_loss_recovery;
+        Alcotest.test_case "fq fairness between flows" `Quick test_fq_fairness_between_flows;
+        Alcotest.test_case "sack heavy-loss recovery" `Quick test_sack_heavy_loss_recovery;
+        Alcotest.test_case "sack blocks on acks" `Quick test_sack_blocks_on_acks;
+        Alcotest.test_case "all CCAs complete" `Slow test_all_ccas_complete;
+        Alcotest.test_case "all CCAs with loss" `Slow test_all_ccas_with_loss;
+        Alcotest.test_case "rtt converges" `Quick test_rtt_estimate_converges;
+        Alcotest.test_case "fin closes both" `Quick test_fin_closes_both;
+        Alcotest.test_case "capture both directions" `Quick test_capture_sees_both_directions;
+        Alcotest.test_case "packets respect mss" `Quick test_packets_respect_mss;
+        Alcotest.test_case "pacing spreads departures" `Quick test_pacing_spreads_departures;
+        Alcotest.test_case "small rwnd throttles" `Quick test_small_rwnd_limits_inflight;
+        q prop_delivery_integrity;
+      ] );
+    ( "tcp.stob_hooks",
+      [
+        Alcotest.test_case "hook shrinks packets" `Quick test_hook_shrinks_packets;
+        Alcotest.test_case "hook cannot inflate" `Quick test_hook_cannot_inflate;
+        Alcotest.test_case "hook delay slows transfer" `Quick test_hook_delay_slows_transfer;
+        Alcotest.test_case "dummies on wire, not delivered" `Quick
+          test_dummy_packets_on_wire_not_delivered;
+        Alcotest.test_case "cpu-bound throughput" `Quick test_cpu_bound_throughput;
+      ] );
+  ]
