@@ -3,9 +3,14 @@
    With no arguments, regenerates every table and figure of the paper (plus
    the ablations) and then runs the Bechamel microbenchmarks.  Individual
    artifacts: `dune exec bench/main.exe -- table2` etc.; `quick` runs a
-   reduced-size version of everything (CI-friendly). *)
+   reduced-size version of everything (CI-friendly).  `--jobs N` spreads the
+   parallelized artifacts (Table 2, Figure 3, dataset generation) over N
+   domains; results are identical to `--jobs 1` by construction.  `smoke`
+   verifies exactly that on tiny inputs and exits non-zero on any mismatch
+   (wired into `dune runtest` via the @quick-bench alias). *)
 
 open Stob_experiments
+module Pool = Stob_par.Pool
 
 let hr title =
   Printf.printf
@@ -20,17 +25,17 @@ let table2_config ~quick =
   if quick then { Table2.default_config with samples_per_site = 20; folds = 3; forest_trees = 40 }
   else Table2.default_config
 
-let run_table2 ~quick () =
+let run_table2 ?pool ~quick () =
   hr "Table 2 (E1): k-FP accuracy under emulated countermeasures";
-  Table2.print (Table2.run ~config:(table2_config ~quick) ())
+  Table2.print (Table2.run ~config:(table2_config ~quick) ?pool ())
 
 let fig3_config ~quick =
   if quick then { Fig3.default_config with alphas = [ 0; 8; 16; 24; 32; 40 ] }
   else Fig3.default_config
 
-let run_fig3 ~quick () =
+let run_fig3 ?pool ~quick () =
   hr "Figure 3 (E2): throughput under packet/TSO size adjustment";
-  Fig3.print (Fig3.run ~config:(fig3_config ~quick) ())
+  Fig3.print (Fig3.run ~config:(fig3_config ~quick) ?pool ())
 
 let run_fig1 () =
   hr "Figure 1 (E4): the stack model";
@@ -102,7 +107,7 @@ let run_early_curve ~quick () =
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one per hot path.                          *)
 
-let microbench_tests () =
+let microbench_tests ~cv_pool () =
   let open Bechamel in
   let rng = Stob_util.Rng.create 99 in
   let trace =
@@ -145,15 +150,37 @@ let microbench_tests () =
       (Staged.stage (fun () ->
            ignore (Stob_web.Browser.load ~rng:load_rng (Stob_web.Sites.find "whatsapp.net"))))
   in
-  [ t_extract; t_forest; t_split; t_delay; t_engine; t_load ]
+  (* The speedup benchmark the parallel layer is accountable to: the same
+     cross-validated attack on one domain vs the pool's N. *)
+  let cv_dataset =
+    Stob_web.Dataset.sanitize
+      (Stob_web.Dataset.generate ~samples_per_site:12 ~seed:7 ~failure_rate:0.0
+         ~profiles:
+           [
+             Stob_web.Sites.find "bing.com";
+             Stob_web.Sites.find "youtube.com";
+             Stob_web.Sites.find "whatsapp.net";
+           ]
+         ())
+  in
+  let cv pool () = ignore (Evalcommon.accuracy_cv ~folds:4 ~trees:20 ?pool cv_dataset) in
+  let t_cv_seq = Test.make ~name:"accuracy-cv-1dom" (Staged.stage (cv None)) in
+  let t_cv_par =
+    Test.make
+      ~name:(Printf.sprintf "accuracy-cv-%ddom" (Pool.domains cv_pool))
+      (Staged.stage (cv (Some cv_pool)))
+  in
+  [ t_extract; t_forest; t_split; t_delay; t_engine; t_load; t_cv_seq; t_cv_par ]
 
-let run_micro () =
+let run_micro ?(jobs = 1) () =
   hr "Microbenchmarks (Bechamel)";
   let open Bechamel in
   let open Toolkit in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
-  let tests = Test.make_grouped ~name:"stob" ~fmt:"%s/%s" (microbench_tests ()) in
+  let cv_domains = if jobs > 1 then jobs else 4 in
+  Pool.with_pool ~domains:cv_domains @@ fun cv_pool ->
+  let tests = Test.make_grouped ~name:"stob" ~fmt:"%s/%s" (microbench_tests ~cv_pool ()) in
   let raw = Benchmark.all cfg instances tests in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
@@ -164,13 +191,44 @@ let run_micro () =
       Printf.printf "  %-28s %12.1f ns/run\n" name ns)
     (List.sort compare rows)
 
-let all ~quick () =
+(* ------------------------------------------------------------------ *)
+(* Smoke: assert that parallelism cannot change results.  Tiny inputs,
+   real domains — run by `dune runtest` through the @quick-bench alias. *)
+
+let run_smoke () =
+  let profiles =
+    [
+      Stob_web.Sites.find "bing.com";
+      Stob_web.Sites.find "youtube.com";
+      Stob_web.Sites.find "whatsapp.net";
+    ]
+  in
+  let failed = ref false in
+  let check what ok =
+    Printf.printf "smoke: %-42s %s\n%!" what (if ok then "ok" else "MISMATCH");
+    if not ok then failed := true
+  in
+  Pool.with_pool ~domains:3 (fun pool ->
+      let seq_ds = Stob_web.Dataset.generate ~samples_per_site:6 ~seed:5 ~profiles () in
+      let par_ds = Stob_web.Dataset.generate ~samples_per_site:6 ~seed:5 ~profiles ~pool () in
+      check "dataset generation parallel == sequential" (seq_ds = par_ds);
+      let cv p = Evalcommon.accuracy_cv ~folds:3 ~trees:10 ?pool:p seq_ds in
+      check "accuracy_cv parallel == sequential" (cv None = cv (Some pool));
+      let fig3_cfg =
+        { Fig3.default_config with Fig3.alphas = [ 0; 20; 40 ]; warmup = 0.02; measure = 0.04 }
+      in
+      check "fig3 sweep parallel == sequential"
+        (Fig3.run ~config:fig3_cfg () = Fig3.run ~config:fig3_cfg ~pool ()));
+  if !failed then exit 1;
+  print_endline "smoke: all parallel paths deterministic"
+
+let all ?pool ~quick () =
   run_fig1 ();
   run_fig2 ();
   run_table1 ();
-  run_fig3 ~quick ();
+  run_fig3 ?pool ~quick ();
   run_ablation_cca ();
-  run_table2 ~quick ();
+  run_table2 ?pool ~quick ();
   run_ablation_stack ~quick ();
   run_ablation_quic ~quick ();
   run_openworld ~quick ();
@@ -180,38 +238,57 @@ let all ~quick () =
   run_early_curve ~quick ();
   run_dl ~quick ();
   run_pareto ~quick ();
-  run_micro ()
+  run_micro ?jobs:(Option.map Pool.domains pool) ()
 
 let () =
-  match Array.to_list Sys.argv with
-  | [ _ ] -> all ~quick:false ()
-  | [ _; "quick" ] -> all ~quick:true ()
-  | [ _; "table1" ] -> run_table1 ()
-  | [ _; "table2" ] -> run_table2 ~quick:false ()
-  | [ _; "table2-quick" ] -> run_table2 ~quick:true ()
-  | [ _; "fig1" ] -> run_fig1 ()
-  | [ _; "fig2" ] -> run_fig2 ()
-  | [ _; "fig3" ] -> run_fig3 ~quick:false ()
-  | [ _; "fig3-quick" ] -> run_fig3 ~quick:true ()
-  | [ _; "ablation-stack" ] -> run_ablation_stack ~quick:false ()
-  | [ _; "ablation-cca" ] -> run_ablation_cca ()
-  | [ _; "ablation-quic" ] -> run_ablation_quic ~quick:false ()
-  | [ _; "openworld" ] -> run_openworld ~quick:false ()
-  | [ _; "openworld-quick" ] -> run_openworld ~quick:true ()
-  | [ _; "cca-id" ] -> run_cca_id ~quick:false ()
-  | [ _; "cca-id-quick" ] -> run_cca_id ~quick:true ()
-  | [ _; "httpos" ] -> run_httpos ~quick:false ()
-  | [ _; "httpos-quick" ] -> run_httpos ~quick:true ()
-  | [ _; "importance" ] -> run_importance ~quick:false ()
-  | [ _; "importance-quick" ] -> run_importance ~quick:true ()
-  | [ _; "early-curve" ] -> run_early_curve ~quick:false ()
-  | [ _; "early-curve-quick" ] -> run_early_curve ~quick:true ()
-  | [ _; "dl" ] -> run_dl ~quick:false ()
-  | [ _; "dl-quick" ] -> run_dl ~quick:true ()
-  | [ _; "pareto" ] -> run_pareto ~quick:false ()
-  | [ _; "pareto-quick" ] -> run_pareto ~quick:true ()
-  | [ _; "micro" ] -> run_micro ()
+  (* Extract `--jobs N` wherever it appears; the rest selects the artifact. *)
+  let jobs, rest =
+    let rec extract acc = function
+      | "--jobs" :: n :: rest -> (
+          match int_of_string_opt n with
+          | Some j when j >= 1 -> (j, List.rev_append acc rest)
+          | _ ->
+              prerr_endline "main.exe: --jobs expects a positive integer";
+              exit 2)
+      | x :: rest -> extract (x :: acc) rest
+      | [] -> (1, List.rev acc)
+    in
+    extract [] (List.tl (Array.to_list Sys.argv))
+  in
+  let with_jobs f =
+    if jobs = 1 then f None else Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
+  in
+  match rest with
+  | [] -> with_jobs (fun pool -> all ?pool ~quick:false ())
+  | [ "quick" ] -> with_jobs (fun pool -> all ?pool ~quick:true ())
+  | [ "smoke" ] -> run_smoke ()
+  | [ "table1" ] -> run_table1 ()
+  | [ "table2" ] -> with_jobs (fun pool -> run_table2 ?pool ~quick:false ())
+  | [ "table2-quick" ] -> with_jobs (fun pool -> run_table2 ?pool ~quick:true ())
+  | [ "fig1" ] -> run_fig1 ()
+  | [ "fig2" ] -> run_fig2 ()
+  | [ "fig3" ] -> with_jobs (fun pool -> run_fig3 ?pool ~quick:false ())
+  | [ "fig3-quick" ] -> with_jobs (fun pool -> run_fig3 ?pool ~quick:true ())
+  | [ "ablation-stack" ] -> run_ablation_stack ~quick:false ()
+  | [ "ablation-cca" ] -> run_ablation_cca ()
+  | [ "ablation-quic" ] -> run_ablation_quic ~quick:false ()
+  | [ "openworld" ] -> run_openworld ~quick:false ()
+  | [ "openworld-quick" ] -> run_openworld ~quick:true ()
+  | [ "cca-id" ] -> run_cca_id ~quick:false ()
+  | [ "cca-id-quick" ] -> run_cca_id ~quick:true ()
+  | [ "httpos" ] -> run_httpos ~quick:false ()
+  | [ "httpos-quick" ] -> run_httpos ~quick:true ()
+  | [ "importance" ] -> run_importance ~quick:false ()
+  | [ "importance-quick" ] -> run_importance ~quick:true ()
+  | [ "early-curve" ] -> run_early_curve ~quick:false ()
+  | [ "early-curve-quick" ] -> run_early_curve ~quick:true ()
+  | [ "dl" ] -> run_dl ~quick:false ()
+  | [ "dl-quick" ] -> run_dl ~quick:true ()
+  | [ "pareto" ] -> run_pareto ~quick:false ()
+  | [ "pareto-quick" ] -> run_pareto ~quick:true ()
+  | [ "micro" ] -> run_micro ~jobs ()
   | _ ->
       prerr_endline
-        "usage: main.exe [quick|table1|table2|table2-quick|fig1|fig2|fig3|fig3-quick|ablation-stack|ablation-cca|ablation-quic|openworld|cca-id|httpos|importance|early-curve|dl|pareto|micro]";
+        "usage: main.exe [--jobs N] \
+         [quick|smoke|table1|table2|table2-quick|fig1|fig2|fig3|fig3-quick|ablation-stack|ablation-cca|ablation-quic|openworld|cca-id|httpos|importance|early-curve|dl|pareto|micro]";
       exit 2

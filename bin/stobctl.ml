@@ -13,6 +13,20 @@ let seed =
   let doc = "Seed for all pseudo-randomness (experiments are reproducible)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs =
+  let doc =
+    "Worker domains for the parallel sections (dataset generation, forest training, \
+     cross-validation, throughput sweeps).  Results are independent of this value; 1 means \
+     sequential."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+(* Run [f] with [Some pool] of [jobs] domains (or [None] when sequential),
+   always joining the workers afterwards. *)
+let with_jobs jobs f =
+  if jobs <= 1 then f None
+  else Stob_par.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
+
 let samples =
   let doc = "Page-load samples to generate per site." in
   Arg.(value & opt int 100 & info [ "samples" ] ~docv:"N" ~doc)
@@ -50,15 +64,16 @@ let resolve_policy name =
 
 (* --- gen-dataset ------------------------------------------------------ *)
 
-let gen_dataset out samples seed policy =
+let gen_dataset out samples seed policy jobs =
   let policy = resolve_policy policy in
   Printf.printf "generating %d samples/site for %d sites...\n%!" samples
     (List.length Stob_web.Sites.all);
   let dataset =
-    Stob_web.Dataset.generate ~samples_per_site:samples ~seed ~policy
-      ~progress:(fun ~done_ ~total ->
-        if done_ mod 50 = 0 then Printf.printf "  %d/%d visits\n%!" done_ total)
-      ()
+    with_jobs jobs (fun pool ->
+        Stob_web.Dataset.generate ~samples_per_site:samples ~seed ~policy
+          ~progress:(fun ~done_ ~total ->
+            if done_ mod 50 = 0 then Printf.printf "  %d/%d visits\n%!" done_ total)
+          ?pool ())
   in
   let clean = Stob_web.Dataset.sanitize dataset in
   (try Unix.mkdir out 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -81,26 +96,27 @@ let gen_dataset_cmd =
   in
   Cmd.v
     (Cmd.info "gen-dataset" ~doc:"Generate and sanitize a page-load trace corpus")
-    Term.(const gen_dataset $ out $ samples $ seed $ policy_arg)
+    Term.(const gen_dataset $ out $ samples $ seed $ policy_arg $ jobs)
 
 (* --- attack ----------------------------------------------------------- *)
 
-let attack samples folds trees seed policy transport =
+let attack samples folds trees seed policy transport jobs =
   let policy = resolve_policy policy in
   Printf.printf "corpus: %d samples/site, policy %s, transport %s\n%!" samples
     policy.Stob_core.Policy.name
     (match transport with `Tcp -> "tcp" | `Quic -> "quic");
-  let dataset =
-    Stob_web.Dataset.sanitize
-      (Stob_web.Dataset.generate ~samples_per_site:samples ~seed ~policy ~transport ())
-  in
-  let mean, std = Evalcommon.accuracy_cv ~folds ~trees ~seed dataset in
-  Printf.printf "k-FP closed-world accuracy (%d-fold CV): %.3f +/- %.3f\n" folds mean std
+  with_jobs jobs (fun pool ->
+      let dataset =
+        Stob_web.Dataset.sanitize
+          (Stob_web.Dataset.generate ~samples_per_site:samples ~seed ~policy ~transport ?pool ())
+      in
+      let mean, std = Evalcommon.accuracy_cv ~folds ~trees ~seed ?pool dataset in
+      Printf.printf "k-FP closed-world accuracy (%d-fold CV): %.3f +/- %.3f\n" folds mean std)
 
 let attack_cmd =
   Cmd.v
     (Cmd.info "attack" ~doc:"Run the k-FP closed-world attack against a (possibly defended) corpus")
-    Term.(const attack $ samples $ folds $ trees $ seed $ policy_arg $ transport_arg)
+    Term.(const attack $ samples $ folds $ trees $ seed $ policy_arg $ transport_arg $ jobs)
 
 (* --- load ------------------------------------------------------------- *)
 
@@ -166,19 +182,19 @@ let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1 (defense taxonomy + measured overheads)")
     Term.(const table1 $ const ())
 
-let table2 samples folds trees seed =
+let table2 samples folds trees seed jobs =
   let config = { Table2.default_config with samples_per_site = samples; folds; forest_trees = trees; seed } in
-  Table2.print (Table2.run ~config ())
+  with_jobs jobs (fun pool -> Table2.print (Table2.run ~config ?pool ()))
 
 let table2_cmd =
   Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table 2 (k-FP accuracy under countermeasures)")
-    Term.(const table2 $ samples $ folds $ trees $ seed)
+    Term.(const table2 $ samples $ folds $ trees $ seed $ jobs)
 
-let fig3 () = Fig3.print (Fig3.run ())
+let fig3 jobs = with_jobs jobs (fun pool -> Fig3.print (Fig3.run ?pool ()))
 
 let fig3_cmd =
   Cmd.v (Cmd.info "fig3" ~doc:"Reproduce Figure 3 (throughput under packet/TSO adjustment)")
-    Term.(const fig3 $ const ())
+    Term.(const fig3 $ jobs)
 
 let arch () =
   Arch.print_figure1 ();

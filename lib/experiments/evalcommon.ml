@@ -3,33 +3,40 @@ module Dataset = Stob_web.Dataset
 module Features = Stob_kfp.Features
 module Attack = Stob_kfp.Attack
 
-let accuracy_cv ?(folds = 5) ?(trees = 100) ?(seed = 42) dataset =
+let accuracy_cv ?(folds = 5) ?(trees = 100) ?(seed = 42) ?(pool = Stob_par.Pool.sequential)
+    dataset =
   let cache = Hashtbl.create (Array.length dataset.Dataset.samples) in
   Array.iter
     (fun s -> Hashtbl.replace cache s (Features.extract s.Dataset.trace))
     dataset.Dataset.samples;
   let n_classes = Array.length dataset.Dataset.site_names in
   let forest = { Stob_ml.Random_forest.default_params with n_trees = trees; seed } in
+  (* Folds are drawn up front from their own seed, and each fold's forest
+     reseeds from [forest.seed], so the per-fold tasks are independent and
+     the parallel map is deterministic (the shared feature cache is only
+     read). *)
+  let eval_fold (train, test) =
+    (* Tiny corpora can leave a fold with no test (or train) samples;
+       skip those folds rather than failing. *)
+    if Array.length test.Dataset.samples = 0 || Array.length train.Dataset.samples = 0 then
+      None
+    else begin
+      let feats d = Array.map (fun s -> Hashtbl.find cache s) d.Dataset.samples in
+      let labels d =
+        Array.map (fun (s : Dataset.sample) -> s.Dataset.label) d.Dataset.samples
+      in
+      let attack =
+        Attack.train ~forest ~n_classes ~features:(feats train) ~labels:(labels train) ()
+      in
+      Some
+        (Attack.evaluate attack ~mode:Attack.Forest_vote ~features:(feats test)
+           ~labels:(labels test))
+    end
+  in
   let accuracies =
-    List.filter_map
-      (fun (train, test) ->
-        (* Tiny corpora can leave a fold with no test (or train) samples;
-           skip those folds rather than failing. *)
-        if Array.length test.Dataset.samples = 0 || Array.length train.Dataset.samples = 0 then
-          None
-        else begin
-          let feats d = Array.map (fun s -> Hashtbl.find cache s) d.Dataset.samples in
-          let labels d =
-            Array.map (fun (s : Dataset.sample) -> s.Dataset.label) d.Dataset.samples
-          in
-          let attack =
-            Attack.train ~forest ~n_classes ~features:(feats train) ~labels:(labels train) ()
-          in
-          Some
-            (Attack.evaluate attack ~mode:Attack.Forest_vote ~features:(feats test)
-               ~labels:(labels test))
-        end)
-      (Dataset.folds dataset ~rng:(Rng.create (seed + 5)) ~k:folds)
+    List.filter_map Fun.id
+      (Stob_par.Pool.map_list pool eval_fold
+         (Dataset.folds dataset ~rng:(Rng.create (seed + 5)) ~k:folds))
   in
   if accuracies = [] then invalid_arg "Evalcommon.accuracy_cv: empty dataset";
   Stob_ml.Eval.mean_std accuracies

@@ -1,6 +1,8 @@
 (** Shared evaluation helper: cross-validated k-FP accuracy on a dataset. *)
 
 val accuracy_cv :
-  ?folds:int -> ?trees:int -> ?seed:int -> Stob_web.Dataset.t -> float * float
+  ?folds:int -> ?trees:int -> ?seed:int -> ?pool:Stob_par.Pool.t -> Stob_web.Dataset.t ->
+  float * float
 (** Stratified CV accuracy (mean, sample std) of the forest-vote attack on
-    full traces.  Defaults: 5 folds, 100 trees, seed 42. *)
+    full traces.  Defaults: 5 folds, 100 trees, seed 42.  [?pool]
+    parallelizes over folds; results are identical for any domain count. *)

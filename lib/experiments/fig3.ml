@@ -60,9 +60,11 @@ let throughput_with_policy ~config ~policy =
   let bytes = Path.server_link_bytes path - !mark in
   Units.throughput_bps ~bytes ~seconds:config.measure
 
-let run ?(config = default_config) () =
+let run ?(config = default_config) ?(pool = Stob_par.Pool.sequential) () =
   let baseline = throughput_with_policy ~config ~policy:Stob_core.Policy.unmodified in
-  List.map
+  (* Each point simulates on its own engine and draws no randomness, so the
+     alpha sweep is embarrassingly parallel and trivially deterministic. *)
+  Stob_par.Pool.map_list pool
     (fun alpha ->
       let measure policy = Units.to_gbps ~bits_per_sec:(throughput_with_policy ~config ~policy) in
       {

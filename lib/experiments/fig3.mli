@@ -33,7 +33,9 @@ val throughput_with_policy : config:config -> policy:Stob_core.Policy.t -> float
 (** Measured steady-state goodput (bits/s) of one bulk transfer under the
     given server-side policy. *)
 
-val run : ?config:config -> unit -> point list
+val run : ?config:config -> ?pool:Stob_par.Pool.t -> unit -> point list
+(** [?pool] parallelizes the alpha sweep (one simulation set per alpha);
+    points are identical for any domain count. *)
 
 val print : point list -> unit
 (** Render the two (plus combined) series as aligned columns — the data

@@ -33,7 +33,7 @@ let apply_variant variant ~first_n ~rng trace =
 (* Accuracy (mean, std over folds) of k-FP on [dataset] where both the
    countermeasure and the attacker's view are limited to the first
    [first_n] packets. *)
-let evaluate_variant ~config ~dataset ~variant ~first_n =
+let evaluate_variant ?(pool = Stob_par.Pool.sequential) ~config ~dataset ~variant ~first_n () =
   let rng = Rng.create (config.seed + 17) in
   let defended =
     Dataset.map_traces dataset (fun s -> apply_variant variant ~first_n ~rng s.Dataset.trace)
@@ -55,8 +55,10 @@ let evaluate_variant ~config ~dataset ~variant ~first_n =
   let forest_params =
     { Stob_ml.Random_forest.default_params with n_trees = config.forest_trees; seed = config.seed }
   in
+  (* Per-fold evaluation only reads the shared caches and reseeds its own
+     forest, so the parallel map over folds is deterministic. *)
   let accuracies =
-    List.map
+    Stob_par.Pool.map_list pool
       (fun (train, test) ->
         let feats d =
           Array.map (fun s -> Hashtbl.find feature_cache (Hashtbl.find index s)) d.Dataset.samples
@@ -75,7 +77,7 @@ let evaluate_variant ~config ~dataset ~variant ~first_n =
 
 let prefixes = [ ("15", Some 15); ("30", Some 30); ("45", Some 45); ("All", None) ]
 
-let run_on ?(config = default_config) dataset =
+let run_on ?(config = default_config) ?pool dataset =
   let clean = Dataset.sanitize dataset in
   let rows =
     List.map
@@ -83,7 +85,7 @@ let run_on ?(config = default_config) dataset =
         let eval variant =
           if not config.quiet then
             Printf.eprintf "table2: N=%s %s...\n%!" n_label (variant_name variant);
-          evaluate_variant ~config ~dataset:clean ~variant ~first_n
+          evaluate_variant ?pool ~config ~dataset:clean ~variant ~first_n ()
         in
         {
           n_label;
@@ -96,16 +98,17 @@ let run_on ?(config = default_config) dataset =
   in
   { rows; per_site = Dataset.per_site_counts clean }
 
-let run ?(config = default_config) () =
+let run ?(config = default_config) ?pool () =
   let progress =
     if config.quiet then None
     else
       Some (fun ~done_ ~total -> if done_ mod 90 = 0 then Printf.eprintf "table2: generated %d/%d visits\n%!" done_ total)
   in
   let dataset =
-    Dataset.generate ~samples_per_site:config.samples_per_site ~seed:config.seed ?progress ()
+    Dataset.generate ~samples_per_site:config.samples_per_site ~seed:config.seed ?progress ?pool
+      ()
   in
-  run_on ~config dataset
+  run_on ~config ?pool dataset
 
 let print result =
   let pp_cell c = Printf.sprintf "%.3f +/- %.3f" c.mean c.std in

@@ -29,9 +29,11 @@ type result = {
   per_site : (string * int) list;  (** Surviving samples per site. *)
 }
 
-val run : ?config:config -> unit -> result
+val run : ?config:config -> ?pool:Stob_par.Pool.t -> unit -> result
+(** [?pool] parallelizes dataset generation (per visit) and cross-validation
+    (per fold); the table is identical for any domain count. *)
 
-val run_on : ?config:config -> Stob_web.Dataset.t -> result
+val run_on : ?config:config -> ?pool:Stob_par.Pool.t -> Stob_web.Dataset.t -> result
 (** Same evaluation on a pre-generated (unsanitized) dataset — lets callers
     reuse one corpus across experiments. *)
 

@@ -6,8 +6,8 @@ type mode = Forest_vote | Leaf_knn of int
 
 type t = { forest : Rf.t; knn : Knn.t }
 
-let train ?(forest = Rf.default_params) ~n_classes ~features ~labels () =
-  let rf = Rf.train ~params:forest ~n_classes ~features ~labels () in
+let train ?(forest = Rf.default_params) ?pool ~n_classes ~features ~labels () =
+  let rf = Rf.train ~params:forest ?pool ~n_classes ~features ~labels () in
   let fingerprints = Array.map (Rf.leaf_fingerprint rf) features in
   let knn = Knn.create ~fingerprints ~labels ~n_classes in
   { forest = rf; knn }

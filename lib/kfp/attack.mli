@@ -14,11 +14,14 @@ type t
 
 val train :
   ?forest:Stob_ml.Random_forest.params ->
+  ?pool:Stob_par.Pool.t ->
   n_classes:int ->
   features:float array array ->
   labels:int array ->
   unit ->
   t
+(** [?pool] parallelizes forest training (deterministically — see
+    {!Stob_ml.Random_forest.train}). *)
 
 val predict : t -> mode:mode -> float array -> int
 

@@ -1,4 +1,5 @@
 module Rng = Stob_util.Rng
+module Pool = Stob_par.Pool
 
 type params = {
   n_trees : int;
@@ -13,7 +14,7 @@ let default_params =
 
 type t = { trees : Decision_tree.t array; n_classes : int }
 
-let train ?(params = default_params) ~n_classes ~features ~labels () =
+let train ?(params = default_params) ?(pool = Pool.sequential) ~n_classes ~features ~labels () =
   let n = Array.length features in
   if n = 0 then invalid_arg "Random_forest.train: no samples";
   let n_features = Array.length features.(0) in
@@ -31,21 +32,23 @@ let train ?(params = default_params) ~n_classes ~features ~labels () =
     }
   in
   let master = Rng.create params.seed in
-  let trees =
-    Array.init params.n_trees (fun _ ->
-        let rng = Rng.split master in
-        (* Bootstrap resample. *)
-        let boot_features = Array.make n features.(0) in
-        let boot_labels = Array.make n 0 in
-        for i = 0 to n - 1 do
-          let j = Rng.int rng n in
-          boot_features.(i) <- features.(j);
-          boot_labels.(i) <- labels.(j)
-        done;
-        Decision_tree.train ~params:tree_params ~rng ~n_classes ~features:boot_features
-          ~labels:boot_labels ())
+  (* Pre-split one generator per tree, in tree order; [split] only consumes
+     the master stream, so this matches the sequential interleaving
+     bit-for-bit and makes per-tree training order-independent. *)
+  let rngs = Array.init params.n_trees (fun _ -> Rng.split master) in
+  let train_tree rng =
+    (* Bootstrap resample. *)
+    let boot_features = Array.make n features.(0) in
+    let boot_labels = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let j = Rng.int rng n in
+      boot_features.(i) <- features.(j);
+      boot_labels.(i) <- labels.(j)
+    done;
+    Decision_tree.train ~params:tree_params ~rng ~n_classes ~features:boot_features
+      ~labels:boot_labels ()
   in
-  { trees; n_classes }
+  { trees = Pool.map pool train_tree rngs; n_classes }
 
 let predict_proba t x =
   let acc = Array.make t.n_classes 0.0 in

@@ -20,7 +20,16 @@ val default_params : params
 type t
 
 val train :
-  ?params:params -> n_classes:int -> features:float array array -> labels:int array -> unit -> t
+  ?params:params ->
+  ?pool:Stob_par.Pool.t ->
+  n_classes:int ->
+  features:float array array ->
+  labels:int array ->
+  unit ->
+  t
+(** [?pool] parallelizes per-tree training.  The per-tree generators are
+    pre-split from the seed in tree order, so the forest is bit-identical
+    for any domain count (and to the historical sequential behavior). *)
 
 val predict : t -> float array -> int
 (** Majority vote over the trees (ties break toward the lower label). *)

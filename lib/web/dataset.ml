@@ -14,43 +14,47 @@ type sample = {
 type t = { samples : sample array; site_names : string array }
 
 let generate ?(samples_per_site = 100) ?(seed = 1) ?policy ?cc ?client_config ?(profiles = Sites.all)
-    ?(failure_rate = 0.02) ?(transport = `Tcp) ?progress () =
+    ?(failure_rate = 0.02) ?(transport = `Tcp) ?progress ?(pool = Stob_par.Pool.sequential) () =
   let master = Rng.create seed in
   let site_names = Array.of_list (List.map (fun p -> p.Profile.name) profiles) in
   let total = List.length profiles * samples_per_site in
-  let done_ = ref 0 in
-  let samples =
+  let done_ = Atomic.make 0 in
+  (* Pre-split one generator per visit, in visit order, so the per-visit
+     tasks are pure and the parallel map reproduces the sequential corpus
+     bit-for-bit ([split] only consumes the master stream). *)
+  let visits =
     List.concat
       (List.mapi
          (fun label profile ->
-           List.init samples_per_site (fun _ ->
-               let rng = Rng.split master in
-               let result =
-                 match transport with
-                 | `Tcp -> Browser.load ?policy ?cc ?client_config ~rng profile
-                 | `Quic -> Browser_quic.load ?policy ?cc ~rng profile
-               in
-               incr done_;
-               (match progress with Some f -> f ~done_:!done_ ~total | None -> ());
-               (* Inject occasional "connection error" captures: truncate the
-                  trace at a random point and mark the visit failed. *)
-               let failed = Rng.bernoulli rng failure_rate in
-               let trace =
-                 if failed then
-                   Trace.prefix result.Browser.trace
-                     (1 + Rng.int rng (max 1 (Trace.length result.Browser.trace)))
-                 else result.Browser.trace
-               in
-               {
-                 site = profile.Profile.name;
-                 label;
-                 trace;
-                 completed = result.Browser.completed && not failed;
-                 total_in_bytes = Trace.bytes ~dir:Packet.Incoming trace;
-               }))
+           List.init samples_per_site (fun _ -> (label, profile, Rng.split master)))
          profiles)
   in
-  { samples = Array.of_list samples; site_names }
+  let visit (label, profile, rng) =
+    let result =
+      match transport with
+      | `Tcp -> Browser.load ?policy ?cc ?client_config ~rng profile
+      | `Quic -> Browser_quic.load ?policy ?cc ~rng profile
+    in
+    let d = Atomic.fetch_and_add done_ 1 + 1 in
+    (match progress with Some f -> f ~done_:d ~total | None -> ());
+    (* Inject occasional "connection error" captures: truncate the
+       trace at a random point and mark the visit failed. *)
+    let failed = Rng.bernoulli rng failure_rate in
+    let trace =
+      if failed then
+        Trace.prefix result.Browser.trace
+          (1 + Rng.int rng (max 1 (Trace.length result.Browser.trace)))
+      else result.Browser.trace
+    in
+    {
+      site = profile.Profile.name;
+      label;
+      trace;
+      completed = result.Browser.completed && not failed;
+      total_in_bytes = Trace.bytes ~dir:Packet.Incoming trace;
+    }
+  in
+  { samples = Stob_par.Pool.map pool visit (Array.of_list visits); site_names }
 
 let per_site_counts t =
   Array.to_list

@@ -26,6 +26,7 @@ val generate :
   ?failure_rate:float ->
   ?transport:[ `Tcp | `Quic ] ->
   ?progress:(done_:int -> total:int -> unit) ->
+  ?pool:Stob_par.Pool.t ->
   unit ->
   t
 (** Defaults: 100 samples per site, the nine paper sites, seed 1,
@@ -33,7 +34,12 @@ val generate :
     single HTTP/3-style QUIC connection instead).  [failure_rate] injects connection errors:
     that fraction of visits is truncated at a random point and marked
     incomplete (default 0.02), exercising the sanitization path the way
-    flaky real-world captures did. *)
+    flaky real-world captures did.
+
+    [?pool] parallelizes visits across domains.  Per-visit generators are
+    pre-split from [seed] in visit order, so the corpus is bit-identical
+    for any domain count.  [progress] may then be called concurrently and
+    out of order (its [done_] argument stays an accurate running count). *)
 
 val sanitize : t -> t
 (** Drop incomplete visits, apply the per-site IQR filter on total download
