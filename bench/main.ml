@@ -105,6 +105,49 @@ let run_early_curve ~quick () =
   Earlycurve.print (Earlycurve.run ~samples_per_site ~trees ())
 
 (* ------------------------------------------------------------------ *)
+(* Netem impairment matrix: loss x reorder x CCA over the simulated path. *)
+
+let netem_cells ~loss ~reorder =
+  let cells = Stob_tcp.Netem_eval.default_cells () in
+  let cells =
+    match loss with
+    | None -> cells
+    | Some l -> List.filter (fun c -> c.Stob_tcp.Netem_eval.loss = l) cells
+  in
+  (* --reorder restricts to reordering-on cells; otherwise keep both. *)
+  if reorder then List.filter (fun c -> c.Stob_tcp.Netem_eval.reorder) cells else cells
+
+let run_netem ?pool ~loss ~reorder ~netem_seed () =
+  hr "Impairment matrix: TCP recovery under netem-style loss/reordering";
+  let cells = netem_cells ~loss ~reorder in
+  (match loss with
+  | Some l when cells = [] ->
+      Printf.eprintf
+        "main.exe netem: --loss %g is not in the acceptance matrix {0, 0.005, 0.02};\n\
+         running a custom single-loss sweep instead.\n"
+        l
+  | _ -> ());
+  let cells =
+    if cells <> [] then cells
+    else
+      (* A --loss value outside the canonical grid: sweep the CCAs at it. *)
+      List.concat_map
+        (fun cca ->
+          List.map
+            (fun r -> { Stob_tcp.Netem_eval.cca; loss = Option.get loss; reorder = r })
+            (if reorder then [ true ] else [ false; true ]))
+        [ "reno"; "cubic"; "bbr" ]
+  in
+  let results = Stob_tcp.Netem_eval.run_matrix ?pool ~seed:netem_seed cells in
+  Stob_tcp.Netem_eval.print_matrix results;
+  let bad = List.filter (fun r -> not (Stob_tcp.Netem_eval.converged r)) results in
+  if bad <> [] then begin
+    Printf.printf "\n%d cell(s) FAILED to converge\n" (List.length bad);
+    exit 1
+  end;
+  Printf.printf "\nall %d cells converged (seed %d)\n" (List.length results) netem_seed
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one per hot path.                          *)
 
 let microbench_tests ~cv_pool () =
@@ -218,7 +261,22 @@ let run_smoke () =
         { Fig3.default_config with Fig3.alphas = [ 0; 20; 40 ]; warmup = 0.02; measure = 0.04 }
       in
       check "fig3 sweep parallel == sequential"
-        (Fig3.run ~config:fig3_cfg () = Fig3.run ~config:fig3_cfg ~pool ()));
+        (Fig3.run ~config:fig3_cfg () = Fig3.run ~config:fig3_cfg ~pool ());
+      (* Impairment matrix: a small fixed-seed loss+reorder sweep must be
+         jobs-invariant and every cell must converge. *)
+      let netem_cells =
+        List.concat_map
+          (fun cca ->
+            List.map
+              (fun (loss, reorder) -> { Stob_tcp.Netem_eval.cca; loss; reorder })
+              [ (0.01, false); (0.01, true) ])
+          [ "reno"; "cubic"; "bbr" ]
+      in
+      let run p = Stob_tcp.Netem_eval.run_matrix ?pool:p ~response:60_000 ~seed:4242 netem_cells in
+      let seq_netem = run None in
+      check "netem matrix parallel == sequential" (seq_netem = run (Some pool));
+      check "netem matrix all cells converge"
+        (List.for_all Stob_tcp.Netem_eval.converged seq_netem));
   if !failed then exit 1;
   print_endline "smoke: all parallel paths deterministic"
 
@@ -241,20 +299,45 @@ let all ?pool ~quick () =
   run_micro ?jobs:(Option.map Pool.domains pool) ()
 
 let () =
-  (* Extract `--jobs N` wherever it appears; the rest selects the artifact. *)
-  let jobs, rest =
+  (* Extract `--jobs N` and the netem flags wherever they appear; the rest
+     selects the artifact. *)
+  let jobs = ref 1
+  and loss = ref None
+  and reorder = ref false
+  and netem_seed = ref 4242 in
+  let die msg =
+    prerr_endline ("main.exe: " ^ msg);
+    exit 2
+  in
+  let rest =
     let rec extract acc = function
       | "--jobs" :: n :: rest -> (
           match int_of_string_opt n with
-          | Some j when j >= 1 -> (j, List.rev_append acc rest)
-          | _ ->
-              prerr_endline "main.exe: --jobs expects a positive integer";
-              exit 2)
+          | Some j when j >= 1 ->
+              jobs := j;
+              extract acc rest
+          | _ -> die "--jobs expects a positive integer")
+      | "--loss" :: f :: rest -> (
+          match float_of_string_opt f with
+          | Some l when l >= 0.0 && l <= 1.0 ->
+              loss := Some l;
+              extract acc rest
+          | _ -> die "--loss expects a probability in [0, 1]")
+      | "--netem-seed" :: n :: rest -> (
+          match int_of_string_opt n with
+          | Some s ->
+              netem_seed := s;
+              extract acc rest
+          | None -> die "--netem-seed expects an integer")
+      | "--reorder" :: rest ->
+          reorder := true;
+          extract acc rest
       | x :: rest -> extract (x :: acc) rest
-      | [] -> (1, List.rev acc)
+      | [] -> List.rev acc
     in
     extract [] (List.tl (Array.to_list Sys.argv))
   in
+  let jobs = !jobs in
   let with_jobs f =
     if jobs = 1 then f None else Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
   in
@@ -287,8 +370,11 @@ let () =
   | [ "pareto" ] -> run_pareto ~quick:false ()
   | [ "pareto-quick" ] -> run_pareto ~quick:true ()
   | [ "micro" ] -> run_micro ~jobs ()
+  | [ "netem" ] ->
+      with_jobs (fun pool ->
+          run_netem ?pool ~loss:!loss ~reorder:!reorder ~netem_seed:!netem_seed ())
   | _ ->
       prerr_endline
-        "usage: main.exe [--jobs N] \
-         [quick|smoke|table1|table2|table2-quick|fig1|fig2|fig3|fig3-quick|ablation-stack|ablation-cca|ablation-quic|openworld|cca-id|httpos|importance|early-curve|dl|pareto|micro]";
+        "usage: main.exe [--jobs N] [--loss F] [--reorder] [--netem-seed N] \
+         [quick|smoke|table1|table2|table2-quick|fig1|fig2|fig3|fig3-quick|ablation-stack|ablation-cca|ablation-quic|openworld|cca-id|httpos|importance|early-curve|dl|pareto|micro|netem]";
       exit 2

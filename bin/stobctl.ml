@@ -261,6 +261,90 @@ let httpos_cmd =
     (Cmd.info "httpos" ~doc:"HTTPOS-style client-side defense: protection vs load-time cost")
     Term.(const httpos $ samples $ trees)
 
+(* --- netem ------------------------------------------------------------ *)
+
+let netem loss reorder dup jitter netem_seed cca rate delay bytes jobs =
+  let module NE = Stob_tcp.Netem_eval in
+  let bad_arg msg =
+    prerr_endline ("stobctl netem: " ^ msg);
+    exit 2
+  in
+  if not (loss >= 0.0 && loss <= 1.0) then bad_arg "--loss must be a probability in [0, 1]";
+  if not (dup >= 0.0 && dup <= 1.0) then bad_arg "--dup must be a probability in [0, 1]";
+  if jitter < 0.0 then bad_arg "--jitter must be non-negative";
+  if rate <= 0.0 || delay <= 0.0 || bytes <= 0 then
+    bad_arg "--rate, --delay and --bytes must be positive";
+  let ccas =
+    match cca with
+    | "all" -> [ "reno"; "cubic"; "bbr" ]
+    | c ->
+        (* Validate the name up front; unknown CCAs raise Invalid_argument. *)
+        let (_ : Stob_tcp.Cc.factory) = NE.cc_of_name c in
+        [ c ]
+  in
+  let cells = List.map (fun cca -> { NE.cca; loss; reorder }) ccas in
+  Printf.printf
+    "netem: loss=%g reorder=%b dup=%g jitter=%g s  path %.0f Mb/s / %.0f ms  response %d B  seed \
+     %d\n\n"
+    loss reorder dup jitter (rate /. 1e6) (delay *. 1e3) bytes netem_seed;
+  let results =
+    with_jobs jobs (fun pool ->
+        let rng = Stob_util.Rng.create netem_seed in
+        let seeded = List.map (fun c -> (c, Stob_util.Rng.int rng max_int)) cells in
+        let run (c, s) =
+          NE.run_cell ~rate_bps:rate ~delay ~response:bytes ~duplicate:dup ~jitter ~seed:s c
+        in
+        match pool with
+        | None -> List.map run seeded
+        | Some pool -> Stob_par.Pool.map_list pool run seeded)
+  in
+  List.iter (fun r -> Format.printf "%a@." NE.pp_result r) results;
+  let bad = List.filter (fun r -> not (NE.converged r)) results in
+  if bad <> [] then begin
+    Printf.printf "\n%d cell(s) failed to converge\n" (List.length bad);
+    exit 1
+  end;
+  Printf.printf "\nall %d cells converged\n" (List.length results)
+
+let netem_cmd =
+  let loss =
+    Arg.(value & opt float 0.01
+         & info [ "loss" ] ~docv:"P" ~doc:"I.i.d. per-packet loss probability, both directions.")
+  in
+  let reorder =
+    Arg.(value & flag & info [ "reorder" ] ~doc:"Also hold ~5% of packets back a few slots.")
+  in
+  let dup =
+    Arg.(value & opt float 0.0 & info [ "dup" ] ~docv:"P" ~doc:"Duplication probability.")
+  in
+  let jitter =
+    Arg.(value & opt float 0.0 & info [ "jitter" ] ~docv:"SEC" ~doc:"Uniform extra delay bound.")
+  in
+  let netem_seed =
+    Arg.(value & opt int 4242
+         & info [ "netem-seed" ] ~docv:"SEED" ~doc:"Master seed for the impairment draws.")
+  in
+  let cca =
+    Arg.(value & opt string "all"
+         & info [ "cca" ] ~docv:"CCA" ~doc:"Congestion control: reno, cubic, bbr or all.")
+  in
+  let rate =
+    Arg.(value & opt float 20e6 & info [ "rate" ] ~docv:"BPS" ~doc:"Bottleneck rate, bits/s.")
+  in
+  let delay =
+    Arg.(value & opt float 0.015 & info [ "delay" ] ~docv:"SEC" ~doc:"One-way propagation delay.")
+  in
+  let bytes =
+    Arg.(value & opt int 150_000 & info [ "bytes" ] ~docv:"N" ~doc:"Response size to transfer.")
+  in
+  Cmd.v
+    (Cmd.info "netem"
+       ~doc:
+         "Drive one request/response/close connection per CCA through seeded netem-style \
+          impairment (loss, reordering, duplication, jitter) and report recovery counters")
+    Term.(
+      const netem $ loss $ reorder $ dup $ jitter $ netem_seed $ cca $ rate $ delay $ bytes $ jobs)
+
 let importance samples trees =
   Importance.print (Importance.run ~samples_per_site:samples ~trees ())
 
@@ -277,7 +361,7 @@ let main_cmd =
     [
       gen_dataset_cmd; attack_cmd; load_cmd; policies_cmd; table1_cmd; table2_cmd; fig3_cmd;
       arch_cmd; ablation_stack_cmd; ablation_cca_cmd; ablation_quic_cmd; openworld_cmd;
-      cca_id_cmd; httpos_cmd; importance_cmd;
+      cca_id_cmd; httpos_cmd; importance_cmd; netem_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

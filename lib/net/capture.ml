@@ -1,19 +1,23 @@
-type t = { mutable events : Trace.event list; mutable n : int }
+type t = { mutable events : Trace.event list; mutable n : int; mutable rtx : int }
 
-let create () = { events = []; n = 0 }
+let create () = { events = []; n = 0; rtx = 0 }
 
 let record t ~time (p : Packet.t) =
   t.events <- { Trace.time; dir = p.dir; size = Packet.wire_size p } :: t.events;
-  t.n <- t.n + 1
+  t.n <- t.n + 1;
+  if p.rtx then t.rtx <- t.rtx + 1
 
 let observe t ~dir ~time (p : Packet.t) =
   t.events <- { Trace.time; dir; size = Packet.wire_size p } :: t.events;
-  t.n <- t.n + 1
+  t.n <- t.n + 1;
+  if p.rtx then t.rtx <- t.rtx + 1
 
 let trace t = Trace.sort (Array.of_list (List.rev t.events))
 
 let clear t =
   t.events <- [];
-  t.n <- 0
+  t.n <- 0;
+  t.rtx <- 0
 
 let count t = t.n
+let rtx_count t = t.rtx

@@ -22,3 +22,9 @@ val trace : t -> Trace.t
 
 val clear : t -> unit
 val count : t -> int
+
+val rtx_count : t -> int
+(** Packets recorded so far that carried the simulation's retransmission
+    oracle mark ({!Packet.t}[.rtx]).  A real eavesdropper cannot see this
+    bit; it exists so experiments under impairment can report how much of
+    a captured trace is recovery traffic. *)

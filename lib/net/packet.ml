@@ -18,6 +18,7 @@ type t = {
   fin : bool;
   is_ack : bool;
   dummy : bool;
+  rtx : bool;
   rwnd : int;
   sack : (int * int) list;
 }
@@ -27,15 +28,15 @@ let default_header_bytes = 52
 let wire_size t = t.payload + t.header
 
 let data ~flow ~dir ~seq ~ack ~payload ?(header = default_header_bytes) ?(fin = false)
-    ?(dummy = false) ~rwnd () =
+    ?(dummy = false) ?(rtx = false) ~rwnd () =
   if payload < 0 then invalid_arg "Packet.data: negative payload";
-  { flow; dir; seq; ack; payload; header; syn = false; fin; is_ack = true; dummy; rwnd; sack = [] }
+  { flow; dir; seq; ack; payload; header; syn = false; fin; is_ack = true; dummy; rtx; rwnd; sack = [] }
 
 let pure_ack ~flow ~dir ~seq ~ack ?(header = default_header_bytes) ?(sack = []) ~rwnd () =
   let header = header + (8 * List.length sack) + if sack = [] then 0 else 4 in
-  { flow; dir; seq; ack; payload = 0; header; syn = false; fin = false; is_ack = true; dummy = false; rwnd; sack }
+  { flow; dir; seq; ack; payload = 0; header; syn = false; fin = false; is_ack = true; dummy = false; rtx = false; rwnd; sack }
 
-let syn ~flow ~dir ~seq ?(ack = None) ~rwnd () =
+let syn ~flow ~dir ~seq ?(ack = None) ?(rtx = false) ~rwnd () =
   let ackn, is_ack = match ack with None -> (0, false) | Some a -> (a, true) in
   {
     flow;
@@ -49,6 +50,7 @@ let syn ~flow ~dir ~seq ?(ack = None) ~rwnd () =
     fin = false;
     is_ack;
     dummy = false;
+    rtx;
     rwnd;
     sack = [];
   }
@@ -58,9 +60,10 @@ let seq_end t =
   t.seq + (if t.dummy then 0 else t.payload) + ctrl
 
 let pp fmt t =
-  Format.fprintf fmt "[flow %d %a seq=%d ack=%d len=%d%s%s%s%s]" t.flow pp_direction t.dir t.seq
+  Format.fprintf fmt "[flow %d %a seq=%d ack=%d len=%d%s%s%s%s%s]" t.flow pp_direction t.dir t.seq
     t.ack t.payload
     (if t.syn then " SYN" else "")
     (if t.fin then " FIN" else "")
     (if t.is_ack then " ACK" else "")
     (if t.dummy then " DUMMY" else "")
+    (if t.rtx then " RTX" else "")

@@ -26,6 +26,10 @@ type t = {
   fin : bool;
   is_ack : bool;  (** ACK flag set (true on everything but the initial SYN). *)
   dummy : bool;  (** Padding packet carrying no real data. *)
+  rtx : bool;
+      (** Retransmission of previously sent sequence space.  Not a real wire
+          bit — an oracle the simulation keeps so captures can separate
+          first transmissions from recovery traffic under impairment. *)
   rwnd : int;  (** Advertised receive window, in bytes. *)
   sack : (int * int) list;
       (** SACK blocks: received-but-not-yet-acked [lo, hi) byte ranges (at
@@ -47,6 +51,7 @@ val data :
   ?header:int ->
   ?fin:bool ->
   ?dummy:bool ->
+  ?rtx:bool ->
   rwnd:int ->
   unit ->
   t
@@ -64,7 +69,8 @@ val pure_ack :
   t
 (** Payload-less acknowledgement, optionally carrying SACK blocks. *)
 
-val syn : flow:int -> dir:direction -> seq:int -> ?ack:int option -> rwnd:int -> unit -> t
+val syn :
+  flow:int -> dir:direction -> seq:int -> ?ack:int option -> ?rtx:bool -> rwnd:int -> unit -> t
 (** SYN, or SYN|ACK when [ack] is provided.  Occupies one sequence number. *)
 
 val seq_end : t -> int

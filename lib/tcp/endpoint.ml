@@ -32,6 +32,7 @@ type t = {
   mutable karn_floor : int;
   mutable sacked : (int * int) list;  (* peer-reported [lo, hi) SACK ranges *)
   mutable in_recovery : bool;
+  mutable rto_recovery : bool;  (* current episode was opened by a timeout *)
   mutable recover_point : int;  (* snd_nxt when recovery began *)
   mutable rtx_next : int;  (* next hole position to retransmit *)
   mutable sent_log : sent_record list;  (* newest first *)
@@ -43,6 +44,7 @@ type t = {
   (* --- receiver --- *)
   mutable rcv_nxt : int;
   mutable ooo : (int * int) list;  (* disjoint sorted [lo, hi) intervals *)
+  mutable fin_seq : int option;  (* sequence number the peer's FIN occupies *)
   mutable unacked_pkts : int;
   mutable delack_timer : Engine.event_id option;
   (* --- callbacks --- *)
@@ -51,6 +53,8 @@ type t = {
   mutable on_fin : unit -> unit;
   (* --- stats --- *)
   mutable retransmissions : int;
+  mutable fast_recoveries : int;
+  mutable rto_events : int;
   mutable segments_sent : int;
   mutable packets_sent : int;
 }
@@ -78,6 +82,7 @@ let create ~engine ~config ~cc ~flow ~dir ?cpu ?(hooks = Hooks.default) ~tx () =
     karn_floor = 0;
     sacked = [];
     in_recovery = false;
+    rto_recovery = false;
     recover_point = 0;
     rtx_next = 0;
     sent_log = [];
@@ -88,12 +93,15 @@ let create ~engine ~config ~cc ~flow ~dir ?cpu ?(hooks = Hooks.default) ~tx () =
     rtt = Rtt.create config;
     rcv_nxt = 0;
     ooo = [];
+    fin_seq = None;
     unacked_pkts = 0;
     delack_timer = None;
     on_established = (fun () -> ());
     on_receive = (fun _ -> ());
     on_fin = (fun () -> ());
     retransmissions = 0;
+    fast_recoveries = 0;
+    rto_events = 0;
     segments_sent = 0;
     packets_sent = 0;
   }
@@ -105,6 +113,8 @@ let in_stack t = t.in_stack
 let unsent t = t.app_queue
 let bytes_acked t = t.snd_una
 let retransmissions t = t.retransmissions
+let fast_recoveries t = t.fast_recoveries
+let rto_events t = t.rto_events
 let segments_sent t = t.segments_sent
 let packets_sent t = t.packets_sent
 let srtt t = Rtt.srtt t.rtt
@@ -194,28 +204,45 @@ let rtx_budget t =
   let budget = (t.cc.Cc.cwnd () - pipe) / max 1 t.config.Config.mss in
   min 45 (max 1 budget)
 
-(* Retransmit up to [limit] MSS-sized chunks of un-SACKed holes below the
-   recovery point, resuming where the previous call stopped. *)
-let retransmit_holes t ~limit =
+(* Retransmit up to [limit] MSS-sized chunks of un-SACKed holes, resuming
+   where the previous call stopped.
+
+   Which holes are presumed lost depends on how recovery began.  In
+   dupack-triggered recovery only sequence space {e below the highest
+   SACKed byte} may be retransmitted (RFC 6675 IsLost): un-SACKed ranges
+   above it are simply still in flight, and resending them both wastes the
+   pipe and — because the copies arrive as pure duplicates and draw
+   duplicate ACKs — can fake the sender into a second recovery episode.
+   After a timeout ([presume_lost]) the whole outstanding window up to the
+   recovery point is fair game, go-back-N style.
+
+   The FIN occupies the last sequence number once sent but is NOT a
+   payload byte: a rebuilt segment must stop its payload short of the FIN
+   slot and carry the flag instead, or the receiver is handed a phantom
+   byte and the FIN itself is lost for good. *)
+let retransmit_holes ?(presume_lost = false) t ~limit =
+  let scan_end =
+    if presume_lost then t.recover_point
+    else min t.recover_point (List.fold_left (fun acc (_, hi) -> max acc hi) t.snd_una t.sacked)
+  in
+  let fin_slot = if t.fin_sent then t.snd_nxt - 1 else max_int in
   let rec go pos sacked remaining =
-    if remaining > 0 && pos < t.recover_point then
+    if remaining > 0 && pos < scan_end then
       match sacked with
       | (lo, hi) :: rest when pos >= lo -> go (max pos hi) rest remaining
       | _ ->
-          let cap =
-            match sacked with (lo, _) :: _ -> min lo t.recover_point | [] -> t.recover_point
-          in
+          let cap = match sacked with (lo, _) :: _ -> min lo scan_end | [] -> scan_end in
           if cap > pos then begin
-            let fin_here = t.fin_sent && pos = t.snd_nxt - 1 in
-            let payload = if fin_here then 0 else min t.config.Config.mss (cap - pos) in
+            let payload = min t.config.Config.mss (max 0 (min cap fin_slot - pos)) in
+            let fin_here = t.fin_sent && pos + payload = fin_slot && cap > fin_slot in
             t.retransmissions <- t.retransmissions + 1;
             t.karn_floor <- t.snd_nxt;
             let pkt =
               Packet.data ~flow:t.flow ~dir:t.dir ~seq:pos ~ack:t.rcv_nxt ~payload ~fin:fin_here
-                ~rwnd:t.config.Config.rcv_wnd ()
+                ~rtx:true ~rwnd:t.config.Config.rcv_wnd ()
             in
             transmit_segment t [| pkt |];
-            let advance = max 1 payload in
+            let advance = max 1 (payload + if fin_here then 1 else 0) in
             t.rtx_next <- pos + advance;
             go (pos + advance) sacked (remaining - 1)
           end
@@ -240,6 +267,7 @@ let rec arm_rto t =
 and handle_rto t =
   t.rto_timer <- None;
   if inflight t > 0 || (t.state = Syn_sent || t.state = Syn_rcvd) then begin
+    t.rto_events <- t.rto_events + 1;
     Rtt.backoff t.rtt;
     t.cc.Cc.on_rto ~now:(now t);
     (match t.state with
@@ -249,32 +277,42 @@ and handle_rto t =
            ACKs clock out hole retransmissions at slow-start pace instead
            of one segment per timeout. *)
         t.in_recovery <- true;
+        t.rto_recovery <- true;
         t.recover_point <- t.snd_nxt;
         t.rtx_next <- t.snd_una;
-        retransmit_holes t ~limit:1);
+        retransmit_holes ~presume_lost:true t ~limit:1);
     arm_rto t
   end
 
-(* Go-back-N style recovery: resend one MSS (or the SYN) from snd_una. *)
+(* Go-back-N style recovery: resend one MSS (or the SYN) from snd_una.
+   Karn's rule: the retransmitted sequence space is ambiguous for RTT
+   sampling.  During the handshake snd_nxt is still 0 while the SYN
+   occupies sequence number 0 (end_seq 1), so the floor must be raised to
+   at least 1 or a retransmitted SYN/SYN|ACK would still seed Rtt with an
+   inflated sample. *)
 and retransmit_head t =
   t.retransmissions <- t.retransmissions + 1;
-  t.karn_floor <- t.snd_nxt;
+  t.karn_floor <- max 1 t.snd_nxt;
   match t.state with
   | Syn_sent ->
-      send_control t (Packet.syn ~flow:t.flow ~dir:t.dir ~seq:0 ~rwnd:t.config.Config.rcv_wnd ())
+      send_control t
+        (Packet.syn ~flow:t.flow ~dir:t.dir ~seq:0 ~rtx:true ~rwnd:t.config.Config.rcv_wnd ())
   | Syn_rcvd ->
       send_control t
-        (Packet.syn ~flow:t.flow ~dir:t.dir ~seq:0 ~ack:(Some t.rcv_nxt)
+        (Packet.syn ~flow:t.flow ~dir:t.dir ~seq:0 ~ack:(Some t.rcv_nxt) ~rtx:true
            ~rwnd:t.config.Config.rcv_wnd ())
   | Established_s | Closed ->
       let outstanding = t.snd_nxt - t.snd_una in
       if outstanding > 0 then begin
-        (* The FIN occupies the last sequence number when sent. *)
-        let fin_here = t.fin_sent && t.snd_una = t.snd_nxt - 1 && outstanding = 1 in
-        let payload = if fin_here then 0 else min t.config.Config.mss outstanding in
+        (* The FIN occupies the last sequence number once sent, but it is
+           not a payload byte: stop the rebuilt payload short of its slot
+           and carry the flag when the segment reaches it. *)
+        let fin_slot = if t.fin_sent then t.snd_nxt - 1 else max_int in
+        let payload = min t.config.Config.mss (min outstanding (max 0 (fin_slot - t.snd_una))) in
+        let fin_here = t.fin_sent && t.snd_una + payload = fin_slot in
         let pkt =
           Packet.data ~flow:t.flow ~dir:t.dir ~seq:t.snd_una ~ack:t.rcv_nxt ~payload
-            ~fin:fin_here ~rwnd:t.config.Config.rcv_wnd ()
+            ~fin:fin_here ~rtx:true ~rwnd:t.config.Config.rcv_wnd ()
         in
         transmit_segment t [| pkt |]
       end
@@ -418,21 +456,35 @@ let schedule_ack t =
              t.delack_timer <- None;
              if t.unacked_pkts > 0 then send_pure_ack t))
 
+(* Advance rcv_nxt to [seq_end], deliver [payload_delivered] real payload
+   bytes, then pull now-contiguous out-of-order data.  The peer's FIN
+   occupies one sequence number ([t.fin_seq]) that is NOT payload: byte
+   accounting must stop short of it, and crossing it — whether in this
+   segment, in drained out-of-order data, or in a retransmission overlap —
+   is what makes the FIN "received".  Returns [true] when the FIN was
+   newly delivered by this call (the caller owes the peer an immediate
+   ACK). *)
 let deliver_in_order t seq_end payload_delivered =
   t.rcv_nxt <- seq_end;
   if payload_delivered > 0 then t.on_receive payload_delivered;
-  (* Pull now-contiguous out-of-order data. *)
   let rec drain () =
     match t.ooo with
     | (lo, hi) :: rest when lo <= t.rcv_nxt ->
-        let new_bytes = max 0 (hi - t.rcv_nxt) in
+        let data_hi = match t.fin_seq with Some s -> min hi s | None -> hi in
+        let new_bytes = max 0 (data_hi - t.rcv_nxt) in
         t.ooo <- rest;
         t.rcv_nxt <- max t.rcv_nxt hi;
         if new_bytes > 0 then t.on_receive new_bytes;
         drain ()
     | _ -> ()
   in
-  drain ()
+  drain ();
+  match t.fin_seq with
+  | Some s when t.rcv_nxt > s && not t.fin_rcvd ->
+      t.fin_rcvd <- true;
+      t.on_fin ();
+      true
+  | _ -> false
 
 let process_ack t (p : Packet.t) =
   if p.Packet.is_ack && t.state = Established_s then begin
@@ -447,8 +499,11 @@ let process_ack t (p : Packet.t) =
          means the next hole was lost too — retransmit it now (NewReno /
          RFC 6675 behaviour) instead of waiting for an RTO. *)
       if t.in_recovery then begin
-        if t.snd_una >= t.recover_point then t.in_recovery <- false
-        else retransmit_holes t ~limit:(rtx_budget t)
+        if t.snd_una >= t.recover_point then begin
+          t.in_recovery <- false;
+          t.rto_recovery <- false
+        end
+        else retransmit_holes ~presume_lost:t.rto_recovery t ~limit:(rtx_budget t)
       end;
       Rtt.reset_backoff t.rtt;
       if t.fin_sent && t.snd_una >= t.snd_nxt then t.fin_acked <- true;
@@ -485,6 +540,8 @@ let process_ack t (p : Packet.t) =
       then begin
         (* Enter loss recovery with the SACK scoreboard. *)
         t.in_recovery <- true;
+        t.rto_recovery <- false;
+        t.fast_recoveries <- t.fast_recoveries + 1;
         t.recover_point <- t.snd_nxt;
         t.rtx_next <- t.snd_una;
         t.cc.Cc.on_loss ~now:(now t);
@@ -512,12 +569,15 @@ let rec receive t (p : Packet.t) =
           (Packet.syn ~flow:t.flow ~dir:t.dir ~seq:0 ~ack:(Some 1) ~rwnd:t.config.Config.rcv_wnd ());
         arm_rto t
     | Syn_sent, true, true ->
-        (* SYN|ACK: complete the three-way handshake. *)
+        (* SYN|ACK: complete the three-way handshake.  Karn's rule: if our
+           SYN was retransmitted ([karn_floor] >= its end_seq of 1), this
+           SYN|ACK may answer either copy — no RTT sample. *)
         t.rcv_nxt <- 1;
         t.snd_una <- 1;
         t.snd_nxt <- max t.snd_nxt 1;
         (match t.sent_log with
-        | { end_seq = 1; sent_at } :: _ -> Rtt.observe t.rtt (now t -. sent_at)
+        | { end_seq = 1; sent_at } :: _ when t.karn_floor < 1 ->
+            Rtt.observe t.rtt (now t -. sent_at)
         | _ -> ());
         t.sent_log <- [];
         t.peer_rwnd <- max p.Packet.rwnd 1;
@@ -527,11 +587,13 @@ let rec receive t (p : Packet.t) =
         t.on_established ();
         try_send t
     | Syn_rcvd, false, true when p.Packet.ack >= 1 ->
-        (* Final handshake ACK. *)
+        (* Final handshake ACK.  Same Karn guard: a retransmitted SYN|ACK
+           makes this sample ambiguous. *)
         t.snd_una <- max t.snd_una 1;
         t.snd_nxt <- max t.snd_nxt 1;
         (match t.sent_log with
-        | { end_seq = 1; sent_at } :: _ -> Rtt.observe t.rtt (now t -. sent_at)
+        | { end_seq = 1; sent_at } :: _ when t.karn_floor < 1 ->
+            Rtt.observe t.rtt (now t -. sent_at)
         | _ -> ());
         t.sent_log <- [];
         cancel_rto t;
@@ -540,9 +602,14 @@ let rec receive t (p : Packet.t) =
         process_data t p;
         try_send t
     | Syn_rcvd, true, false ->
-        (* Duplicate SYN: retransmit the SYN|ACK. *)
+        (* Duplicate SYN: retransmit the SYN|ACK.  The SYN|ACK has now been
+           sent twice, so the eventual handshake ACK is ambiguous for RTT
+           sampling (Karn). *)
+        t.retransmissions <- t.retransmissions + 1;
+        t.karn_floor <- max 1 t.karn_floor;
         send_control t
-          (Packet.syn ~flow:t.flow ~dir:t.dir ~seq:0 ~ack:(Some 1) ~rwnd:t.config.Config.rcv_wnd ())
+          (Packet.syn ~flow:t.flow ~dir:t.dir ~seq:0 ~ack:(Some 1) ~rtx:true
+             ~rwnd:t.config.Config.rcv_wnd ())
     | _ ->
         process_ack t p;
         process_data t p)
@@ -551,14 +618,14 @@ let rec receive t (p : Packet.t) =
 and process_data t (p : Packet.t) =
   if (p.Packet.payload > 0 || p.Packet.fin) && t.state = Established_s then begin
     let seq_end = Packet.seq_end p in
+    (* Remember where the peer's FIN sits in sequence space, wherever the
+       carrying segment lands (in order, buffered out of order, or inside a
+       retransmission overlap): delivery past it is what closes the
+       receive side. *)
+    if p.Packet.fin then t.fin_seq <- Some (seq_end - 1);
     if p.Packet.seq = t.rcv_nxt then begin
-      deliver_in_order t seq_end p.Packet.payload;
-      if p.Packet.fin then begin
-        t.fin_rcvd <- true;
-        t.on_fin ();
-        send_pure_ack t
-      end
-      else schedule_ack t
+      let fin_now = deliver_in_order t seq_end p.Packet.payload in
+      if fin_now then send_pure_ack t else schedule_ack t
     end
     else if p.Packet.seq > t.rcv_nxt then begin
       (* Out of order: buffer and emit an immediate duplicate ACK. *)
@@ -566,9 +633,12 @@ and process_data t (p : Packet.t) =
       send_pure_ack t
     end
     else if seq_end > t.rcv_nxt then begin
-      (* Partial overlap with delivered data (retransmission overshoot). *)
-      deliver_in_order t seq_end (seq_end - t.rcv_nxt);
-      schedule_ack t
+      (* Partial overlap with delivered data (retransmission overshoot).
+         Only the sequence range beyond rcv_nxt is new, and the FIN's
+         sequence-space slot is not a payload byte. *)
+      let data_end = seq_end - if p.Packet.fin then 1 else 0 in
+      let fin_now = deliver_in_order t seq_end (max 0 (data_end - t.rcv_nxt)) in
+      if fin_now then send_pure_ack t else schedule_ack t
     end
     else
       (* Pure duplicate: re-ACK so the sender makes progress. *)

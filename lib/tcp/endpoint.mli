@@ -88,6 +88,14 @@ val unsent : t -> int
 
 val bytes_acked : t -> int
 val retransmissions : t -> int
+
+val fast_recoveries : t -> int
+(** Dupack/SACK-triggered loss-recovery episodes entered (fast retransmit,
+    not timeouts). *)
+
+val rto_events : t -> int
+(** Retransmission timeouts that actually fired recovery. *)
+
 val segments_sent : t -> int
 val packets_sent : t -> int
 val srtt : t -> float option

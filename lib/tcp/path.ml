@@ -1,6 +1,7 @@
 module Packet = Stob_net.Packet
 module Capture = Stob_net.Capture
 module Link = Stob_sim.Link
+module Netem = Stob_sim.Netem
 
 type t = {
   to_server : Packet.t Link.t;  (* carries Outgoing packets *)
@@ -9,11 +10,14 @@ type t = {
   rx : (int * Packet.direction, Packet.t -> unit) Hashtbl.t;
   serialized : (int * Packet.direction, Packet.t -> unit) Hashtbl.t;
   server_qdisc : Packet.t array Qdisc.t option;
+  client_netem : Packet.t Netem.t option;  (* impairs deliveries to the client *)
+  server_netem : Packet.t Netem.t option;  (* impairs deliveries to the server *)
 }
 
 let burst_wire_bytes packets = Array.fold_left (fun acc p -> acc + Packet.wire_size p) 0 packets
 
-let create ~engine ~rate_bps ~delay ?queue_capacity ?(server_fq = false) () =
+let create ~engine ~rate_bps ~delay ?queue_capacity ?(server_fq = false) ?client_netem
+    ?server_netem () =
   let rx = Hashtbl.create 16 in
   let serialized = Hashtbl.create 16 in
   let deliver dir p =
@@ -21,13 +25,25 @@ let create ~engine ~rate_bps ~delay ?queue_capacity ?(server_fq = false) () =
     | Some f -> f p
     | None -> ()  (* unregistered flow: packet silently sinks *)
   in
+  (* The impairment stage sits between a link's receive end and the
+     endpoint demux: packets experience serialization and propagation
+     first, then loss/reordering/duplication/jitter. *)
+  let impaired spec dir =
+    match spec with
+    | None -> (deliver dir, None)
+    | Some spec ->
+        let n = Netem.of_spec ~engine ~deliver:(deliver dir) spec in
+        (Netem.feed n, Some n)
+  in
+  let deliver_to_server, server_netem = impaired server_netem Packet.Outgoing in
+  let deliver_to_client, client_netem = impaired client_netem Packet.Incoming in
   let to_server =
     Link.create engine ~rate_bps ~delay ?queue_capacity ~size:Packet.wire_size
-      ~deliver:(deliver Packet.Outgoing) ()
+      ~deliver:deliver_to_server ()
   in
   let to_client =
     Link.create engine ~rate_bps ~delay ?queue_capacity ~size:Packet.wire_size
-      ~deliver:(deliver Packet.Incoming) ()
+      ~deliver:deliver_to_client ()
   in
   let capture = Capture.create () in
   let tap link =
@@ -44,7 +60,9 @@ let create ~engine ~rate_bps ~delay ?queue_capacity ?(server_fq = false) () =
       Some (Qdisc.fq ~limit_bytes:(64 * 1024 * 1024) ~size:burst_wire_bytes ())
     else None
   in
-  let t = { to_server; to_client; capture; rx; serialized; server_qdisc } in
+  let t =
+    { to_server; to_client; capture; rx; serialized; server_qdisc; client_netem; server_netem }
+  in
   (match server_qdisc with
   | None -> ()
   | Some q ->
@@ -81,3 +99,12 @@ let client_link_bytes t = Link.bytes_sent t.to_server
 let drops t =
   Link.drops t.to_client + Link.drops t.to_server
   + match t.server_qdisc with None -> 0 | Some q -> Qdisc.drops q
+
+let netem_stats_of = function None -> Netem.zero_stats | Some n -> Netem.stats n
+let client_netem_stats t = Option.map Netem.stats t.client_netem
+let server_netem_stats t = Option.map Netem.stats t.server_netem
+
+let netem_stats t =
+  Netem.add_stats (netem_stats_of t.client_netem) (netem_stats_of t.server_netem)
+
+let netem_lost t = (netem_stats t).Netem.lost

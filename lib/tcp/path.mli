@@ -7,7 +7,13 @@
 
     The server egress (the direction a server-side defense controls) can
     optionally run a fair-queueing qdisc and a CPU model shared by all
-    flows, matching the paper's server-side deployment scenario. *)
+    flows, matching the paper's server-side deployment scenario.
+
+    Each direction can additionally run a netem-style impairment stage
+    (seeded loss, reordering, duplication, jitter — {!Stob_sim.Netem})
+    between the link's receive end and the endpoint demux, so recovery
+    machinery is exercised under adverse-network conditions that queue
+    overflow alone cannot produce. *)
 
 type t
 
@@ -17,12 +23,16 @@ val create :
   delay:float ->
   ?queue_capacity:int ->
   ?server_fq:bool ->
+  ?client_netem:Stob_net.Packet.t Stob_sim.Netem.spec ->
+  ?server_netem:Stob_net.Packet.t Stob_sim.Netem.spec ->
   unit ->
   t
 (** [delay] is one-way propagation (RTT is twice that plus serialization).
     [queue_capacity] bounds each link's bottleneck queue in bytes.
     [server_fq] interposes a DRR fair-queueing qdisc on the server->client
-    direction. *)
+    direction.  [client_netem] impairs packets the {e client receives}
+    (the download direction); [server_netem] impairs packets the server
+    receives.  Give the two specs distinct seeds. *)
 
 val register :
   t ->
@@ -50,3 +60,17 @@ val server_link_bytes : t -> int
 val client_link_bytes : t -> int
 val drops : t -> int
 (** Total packets dropped at either bottleneck queue. *)
+
+val netem_stats : t -> Stob_sim.Netem.stats
+(** Combined impairment counters over both directions (all zero when no
+    netem is configured). *)
+
+val client_netem_stats : t -> Stob_sim.Netem.stats option
+(** Counters of the client-side (download) impairment stage, if any. *)
+
+val server_netem_stats : t -> Stob_sim.Netem.stats option
+(** Counters of the server-side (upload) impairment stage, if any. *)
+
+val netem_lost : t -> int
+(** Packets deliberately lost by the impairment stages — next to {!drops},
+    which counts congestive queue-overflow losses. *)

@@ -145,7 +145,9 @@ let test_importance_reduced () =
   Alcotest.(check bool) "descending" true (sorted r.Importance.undefended)
 
 let test_cca_id_reduced () =
-  let r = Cca_id.run ~flows_per_cca:5 ~trees:15 ~quiet:true () in
+  (* 5 flows/CCA leaves only 15 test samples and sits exactly on the 0.4
+     threshold — one reclassified flow flips it; 8 gives a robust margin. *)
+  let r = Cca_id.run ~flows_per_cca:8 ~trees:15 ~quiet:true () in
   Alcotest.(check bool) "attack beats chance" true (r.Cca_id.undefended > 0.4);
   Alcotest.(check bool) "rate floor reduces identifiability" true
     (r.Cca_id.shaped <= r.Cca_id.undefended)

@@ -226,6 +226,158 @@ let test_link_preserves_order () =
   Engine.run engine;
   Alcotest.(check (list int)) "fifo delivery" (List.init 50 (fun i -> i + 1)) (List.rev !arrived)
 
+(* --- Netem --- *)
+
+module Netem = Stob_sim.Netem
+
+(* Feed [frames] through a netem with [cfg] (all at t = 0 — jitter-free
+   dispatch is synchronous), then run the engine to flush any held frames;
+   returns deliveries in order plus stats. *)
+let netem_run ?drop_filter cfg frames =
+  let engine = Engine.create () in
+  let out = ref [] in
+  let n = Netem.create ~engine ?drop_filter ~deliver:(fun x -> out := x :: !out) cfg in
+  List.iter (fun f -> Netem.feed n f) frames;
+  Engine.run engine;
+  (List.rev !out, Netem.stats n)
+
+let test_netem_identity () =
+  let input = List.init 50 (fun i -> i) in
+  let delivered, stats = netem_run Netem.default input in
+  Alcotest.(check (list int)) "default config is the identity" input delivered;
+  Alcotest.(check int) "no losses" 0 stats.Netem.lost;
+  Alcotest.(check int) "all delivered" 50 stats.Netem.delivered
+
+let test_netem_iid_loss_deterministic () =
+  let input = List.init 2000 (fun i -> i) in
+  let cfg = { Netem.default with Netem.loss = Netem.Iid 0.1; seed = 7 } in
+  let d1, s1 = netem_run cfg input in
+  let d2, s2 = netem_run cfg input in
+  Alcotest.(check bool) "same seed, same deliveries" true (d1 = d2);
+  Alcotest.(check bool) "same seed, same stats" true (s1 = s2);
+  let loss_rate = float_of_int s1.Netem.lost /. 2000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "loss rate near 10%% (%.3f)" loss_rate)
+    true
+    (loss_rate > 0.05 && loss_rate < 0.15);
+  let _, s3 = netem_run { cfg with Netem.seed = 8 } input in
+  Alcotest.(check bool) "different seed, different stream" true (s1.Netem.lost <> s3.Netem.lost)
+
+let test_netem_drop_list () =
+  (* Drop the 2nd and 4th even frame; odd frames don't count. *)
+  let cfg = { Netem.default with Netem.drop_list = [ 2; 4 ] } in
+  let input = List.init 12 (fun i -> i) in
+  let delivered, stats =
+    netem_run ~drop_filter:(fun x -> x mod 2 = 0) cfg input
+  in
+  Alcotest.(check (list int)) "2nd and 4th even frames dropped"
+    (List.filter (fun x -> x <> 2 && x <> 6) input)
+    delivered;
+  Alcotest.(check int) "two losses" 2 stats.Netem.lost
+
+let test_netem_duplication () =
+  let cfg = { Netem.default with Netem.duplicate_prob = 1.0 } in
+  let delivered, stats = netem_run cfg [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "every frame twice" [ 1; 1; 2; 2; 3; 3 ] delivered;
+  Alcotest.(check int) "duplicates counted" 3 stats.Netem.duplicated
+
+let test_netem_reorder () =
+  let cfg =
+    { Netem.default with Netem.reorder_prob = 0.3; reorder_depth = 2; reorder_hold = 1.0; seed = 3 }
+  in
+  let input = List.init 40 (fun i -> i) in
+  let delivered, stats = netem_run cfg input in
+  Alcotest.(check (list int)) "no frame lost or duplicated" input (List.sort compare delivered);
+  Alcotest.(check bool) "some frames reordered" true (stats.Netem.reordered > 0);
+  Alcotest.(check bool) "delivery order actually perturbed" true (delivered <> input)
+
+let test_netem_reorder_flush () =
+  (* Hold probability 1: nothing ever passes to age the buffer, so the
+     flush timer must deliver every frame (a held FIN cannot deadlock). *)
+  let cfg =
+    { Netem.default with Netem.reorder_prob = 1.0; reorder_depth = 3; reorder_hold = 0.5 }
+  in
+  let engine = Engine.create () in
+  let out = ref [] in
+  let n = Netem.create ~engine ~deliver:(fun x -> out := x :: !out) cfg in
+  Netem.feed n "fin";
+  Alcotest.(check int) "held" 1 (Netem.held n);
+  Engine.run engine;
+  Alcotest.(check (list string)) "flushed after hold timeout" [ "fin" ] !out;
+  Alcotest.(check int) "buffer empty" 0 (Netem.held n);
+  check_float "flush time" 0.5 (Engine.now engine)
+
+let test_netem_gilbert_elliott_bursts () =
+  let cfg =
+    {
+      Netem.default with
+      Netem.loss =
+        Netem.Gilbert_elliott { p_gb = 0.02; p_bg = 0.3; loss_good = 0.0; loss_bad = 1.0 };
+      seed = 11;
+    }
+  in
+  let input = List.init 3000 (fun i -> i) in
+  let delivered, stats = netem_run cfg input in
+  Alcotest.(check bool) "bursty channel loses frames" true (stats.Netem.lost > 0);
+  (* Consecutive losses: a gap of >= 2 in the delivered sequence. *)
+  let rec has_burst = function
+    | a :: (b :: _ as rest) -> b - a > 2 || has_burst rest
+    | _ -> false
+  in
+  Alcotest.(check bool) "losses come in bursts" true (has_burst delivered)
+
+let test_netem_jitter_delays () =
+  let cfg = { Netem.default with Netem.jitter = 0.2; seed = 5 } in
+  let engine = Engine.create () in
+  let times = ref [] in
+  let n = Netem.create ~engine ~deliver:(fun _ -> times := Engine.now engine :: !times) cfg in
+  for i = 1 to 20 do
+    Netem.feed n i
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all delivered" 20 (List.length !times);
+  Alcotest.(check bool) "jitter spread deliveries" true
+    (List.exists (fun t -> t > 0.0) !times && List.exists (fun t -> t < 0.2) !times)
+
+let test_netem_validate () =
+  let raises cfg =
+    match Netem.validate cfg with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "loss > 1 rejected" true (raises { Netem.default with Netem.loss = Netem.Iid 1.5 });
+  Alcotest.(check bool) "negative jitter rejected" true (raises { Netem.default with Netem.jitter = -0.1 });
+  Alcotest.(check bool) "reorder without depth rejected" true
+    (raises { Netem.default with Netem.reorder_prob = 0.5; reorder_depth = 0 });
+  Alcotest.(check bool) "zero drop ordinal rejected" true
+    (raises { Netem.default with Netem.drop_list = [ 0 ] });
+  Alcotest.(check bool) "default valid" false (raises Netem.default)
+
+let prop_netem_conserves_frames =
+  QCheck.Test.make ~name:"netem never invents or leaks frames (loss+reorder+dup)" ~count:50
+    QCheck.(
+      quad (int_range 0 1000000) (float_range 0.0 0.3) (float_range 0.0 0.5) (float_range 0.0 0.3))
+    (fun (seed, loss, reorder_prob, duplicate_prob) ->
+      let cfg =
+        {
+          Netem.default with
+          Netem.loss = Netem.Iid loss;
+          reorder_prob;
+          reorder_depth = 3;
+          reorder_hold = 0.2;
+          duplicate_prob;
+          seed;
+        }
+      in
+      let input = List.init 300 (fun i -> i) in
+      let delivered, stats = netem_run cfg input in
+      let uniq = List.sort_uniq compare delivered in
+      (* Every input frame is either delivered (>= once when duplicated) or
+         counted lost; nothing is held forever. *)
+      List.length uniq = 300 - stats.Netem.lost
+      && stats.Netem.delivered = List.length delivered
+      && List.length delivered = 300 - stats.Netem.lost + stats.Netem.duplicated)
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
@@ -259,5 +411,18 @@ let suite =
         Alcotest.test_case "tap and counters" `Quick test_link_tap_and_counters;
         Alcotest.test_case "on_idle" `Quick test_link_on_idle;
         Alcotest.test_case "preserves order" `Quick test_link_preserves_order;
+      ] );
+    ( "sim.netem",
+      [
+        Alcotest.test_case "identity" `Quick test_netem_identity;
+        Alcotest.test_case "iid loss deterministic" `Quick test_netem_iid_loss_deterministic;
+        Alcotest.test_case "drop list" `Quick test_netem_drop_list;
+        Alcotest.test_case "duplication" `Quick test_netem_duplication;
+        Alcotest.test_case "reorder" `Quick test_netem_reorder;
+        Alcotest.test_case "reorder hold flush" `Quick test_netem_reorder_flush;
+        Alcotest.test_case "gilbert-elliott bursts" `Quick test_netem_gilbert_elliott_bursts;
+        Alcotest.test_case "jitter" `Quick test_netem_jitter_delays;
+        Alcotest.test_case "validate" `Quick test_netem_validate;
+        q prop_netem_conserves_frames;
       ] );
   ]

@@ -7,6 +7,7 @@ module Units = Stob_util.Units
 module Packet = Stob_net.Packet
 module Trace = Stob_net.Trace
 module Capture = Stob_net.Capture
+module Netem = Stob_sim.Netem
 open Stob_tcp
 
 let check_float margin = Alcotest.(check (float margin))
@@ -191,9 +192,11 @@ type world = {
 }
 
 let make_world ?(rate_bps = Units.mbps 100.0) ?(delay = 0.01) ?queue_capacity ?cc ?server_cpu
-    ?server_hooks ?client_config ?server_config () =
+    ?server_hooks ?client_config ?server_config ?client_netem ?server_netem () =
   let engine = Engine.create () in
-  let path = Path.create ~engine ~rate_bps ~delay ?queue_capacity () in
+  let path =
+    Path.create ~engine ~rate_bps ~delay ?queue_capacity ?client_netem ?server_netem ()
+  in
   let conn =
     Connection.create ~engine ~path ~flow:1 ?cc ?server_cpu ?server_hooks ?client_config
       ?server_config ()
@@ -544,6 +547,236 @@ let prop_delivery_integrity =
       request_response w ~request:100 ~response;
       !(w.received) = response)
 
+(* --- Endpoint-level regressions: packets fed by hand ------------------- *)
+
+(* A lone client-side endpoint whose transmissions are just collected.  The
+   handshake is completed by feeding a SYN|ACK directly, after which data
+   from the "server" starts at seq 1. *)
+let lone_client () =
+  let engine = Engine.create () in
+  let sent = ref [] in
+  let ep =
+    Endpoint.create ~engine ~config:Config.default ~cc:(Reno.make Config.default) ~flow:1
+      ~dir:Packet.Outgoing
+      ~tx:(fun pkts -> Array.iter (fun p -> sent := p :: !sent) pkts)
+      ()
+  in
+  (engine, ep, sent)
+
+let establish_client ep =
+  Endpoint.connect ep;
+  Endpoint.receive ep
+    (Packet.syn ~flow:1 ~dir:Packet.Incoming ~seq:0 ~ack:(Some 1) ~rwnd:1_000_000 ())
+
+let data_in ~seq ~payload ?fin () =
+  Packet.data ~flow:1 ~dir:Packet.Incoming ~seq ~ack:1 ~payload ?fin ~rwnd:1_000_000 ()
+
+(* Regression (out-of-order FIN): a FIN that arrives out of order and is
+   drained from the reassembly buffer must still be signalled, and its
+   sequence-space slot must not be counted as a payload byte. *)
+let test_ooo_fin_drained () =
+  let engine, ep, _ = lone_client () in
+  establish_client ep;
+  let received = ref 0 and fin_fired = ref false in
+  Endpoint.set_on_receive ep (fun n -> received := !received + n);
+  Endpoint.set_on_fin ep (fun () -> fin_fired := true);
+  Endpoint.receive ep (data_in ~seq:1 ~payload:1000 ());
+  (* FIN-carrying tail arrives before the middle: buffered out of order. *)
+  Endpoint.receive ep (data_in ~seq:3001 ~payload:500 ~fin:true ());
+  Alcotest.(check bool) "fin not yet deliverable" false !fin_fired;
+  (* The hole: draining it must deliver the tail AND the buffered FIN. *)
+  Endpoint.receive ep (data_in ~seq:1001 ~payload:2000 ());
+  Engine.run engine;
+  Alcotest.(check int) "payload bytes only, no phantom FIN byte" 3500 !received;
+  Alcotest.(check bool) "buffered FIN signalled" true !fin_fired
+
+(* Regression (phantom FIN byte in a partial overlap): a retransmission that
+   overlaps delivered data and carries the FIN must deliver only the new
+   payload range and still signal the FIN. *)
+let test_partial_overlap_fin () =
+  let engine, ep, _ = lone_client () in
+  establish_client ep;
+  let received = ref 0 and fin_fired = ref false in
+  Endpoint.set_on_receive ep (fun n -> received := !received + n);
+  Endpoint.set_on_fin ep (fun () -> fin_fired := true);
+  Endpoint.receive ep (data_in ~seq:1 ~payload:1000 ());
+  (* Retransmission overshoot: seq 501..1101 already delivered up to 1001,
+     so only bytes 1001..1101 are new; the FIN occupies seq 1101. *)
+  Endpoint.receive ep (data_in ~seq:501 ~payload:600 ~fin:true ());
+  Engine.run engine;
+  Alcotest.(check int) "only the new payload range" 1100 !received;
+  Alcotest.(check bool) "FIN in overlap signalled" true !fin_fired
+
+(* Regression (Karn's rule in the handshake): a SYN|ACK answering a
+   retransmitted SYN is ambiguous — it must not seed the RTT estimator
+   with a sample spanning both transmissions. *)
+let test_karn_syn_retransmit () =
+  let engine, ep, _ = lone_client () in
+  Endpoint.connect ep;
+  (* Run past the initial RTO (1 s): the SYN is retransmitted. *)
+  Engine.run ~until:1.5 engine;
+  Alcotest.(check bool) "SYN was retransmitted" true (Endpoint.retransmissions ep >= 1);
+  Endpoint.receive ep
+    (Packet.syn ~flow:1 ~dir:Packet.Incoming ~seq:0 ~ack:(Some 1) ~rwnd:1_000_000 ());
+  Alcotest.(check bool) "established" true (Endpoint.established ep);
+  Alcotest.(check (option (float 0.0))) "no RTT sample from ambiguous SYN|ACK" None
+    (Endpoint.srtt ep);
+  (* Control: a prompt, unretransmitted handshake does seed the estimator. *)
+  let _, ep2, _ = lone_client () in
+  establish_client ep2;
+  Alcotest.(check bool) "clean handshake seeds RTT" true (Endpoint.srtt ep2 <> None)
+
+(* Server-side variant: a duplicate SYN forces a SYN|ACK retransmission, so
+   the eventual handshake ACK is ambiguous too. *)
+let test_karn_synack_retransmit () =
+  let engine = Engine.create () in
+  let ep =
+    Endpoint.create ~engine ~config:Config.default ~cc:(Reno.make Config.default) ~flow:1
+      ~dir:Packet.Incoming
+      ~tx:(fun _ -> ())
+      ()
+  in
+  let syn = Packet.syn ~flow:1 ~dir:Packet.Outgoing ~seq:0 ~rwnd:1_000_000 () in
+  Endpoint.receive ep syn;
+  Endpoint.receive ep syn (* duplicate SYN: SYN|ACK goes out twice *);
+  Alcotest.(check bool) "SYN|ACK retransmitted" true (Endpoint.retransmissions ep >= 1);
+  Endpoint.receive ep
+    (Packet.pure_ack ~flow:1 ~dir:Packet.Outgoing ~seq:1 ~ack:1 ~rwnd:1_000_000 ());
+  Alcotest.(check bool) "established" true (Endpoint.established ep);
+  Alcotest.(check (option (float 0.0))) "no RTT sample from ambiguous handshake ACK" None
+    (Endpoint.srtt ep)
+
+(* --- Netem integration: deterministic single-drop regressions ---------- *)
+
+(* Like [request_response], but the server closes after writing its response
+   and the client closes on the server's FIN — the full lifecycle the
+   impairment battery exercises. *)
+let request_response_close w ~request ~response =
+  let server = Connection.server w.conn and client = Connection.client w.conn in
+  let responded = ref false in
+  Endpoint.set_on_receive server (fun n ->
+      w.server_received := !(w.server_received) + n;
+      if (not !responded) && !(w.server_received) >= request then begin
+        responded := true;
+        Endpoint.write server response;
+        Endpoint.close server
+      end);
+  Endpoint.set_on_fin client (fun () -> Endpoint.close client);
+  Connection.on_established w.conn (fun () -> Endpoint.write client request);
+  Connection.open_ w.conn;
+  Engine.run ~until:60.0 w.engine
+
+(* First transmissions of data packets, in order — the netem drop-list
+   counts only frames matching this, so "drop the nth data packet" is exact
+   and retransmitted copies are never re-dropped. *)
+let first_tx_data p = p.Packet.payload > 0 && not p.Packet.rtx
+
+let test_drop_nth_data_fast_retransmit () =
+  (* Losing one mid-stream data packet with plenty of traffic behind it must
+     be repaired by fast retransmit — dupacks, not a timeout. *)
+  let spec = Netem.spec ~drop_filter:first_tx_data { Netem.default with Netem.drop_list = [ 8 ] } in
+  let w = make_world ~rate_bps:(Units.mbps 50.0) ~delay:0.02 ~client_netem:spec () in
+  request_response_close w ~request:1000 ~response:100_000;
+  let server = Connection.server w.conn and client = Connection.client w.conn in
+  Alcotest.(check int) "all response bytes delivered once" 100_000 !(w.received);
+  Alcotest.(check bool) "both closed" true (Endpoint.closed server && Endpoint.closed client);
+  Alcotest.(check int) "exactly one fast-retransmit episode" 1 (Endpoint.fast_recoveries server);
+  Alcotest.(check int) "no RTO" 0 (Endpoint.rto_events server);
+  Alcotest.(check int) "one packet dropped" 1 (Path.netem_lost w.path)
+
+let test_drop_two_holes_partial_ack () =
+  (* Two holes in one window: the first is repaired on dupacks, the second
+     by the NewReno partial-ACK rule inside the same recovery episode. *)
+  let spec =
+    Netem.spec ~drop_filter:first_tx_data { Netem.default with Netem.drop_list = [ 8; 12 ] }
+  in
+  let w = make_world ~rate_bps:(Units.mbps 50.0) ~delay:0.02 ~client_netem:spec () in
+  request_response_close w ~request:1000 ~response:100_000;
+  let server = Connection.server w.conn in
+  Alcotest.(check int) "all response bytes delivered once" 100_000 !(w.received);
+  Alcotest.(check int) "one recovery episode covers both holes" 1
+    (Endpoint.fast_recoveries server);
+  Alcotest.(check bool) "both holes retransmitted" true (Endpoint.retransmissions server >= 2);
+  Alcotest.(check int) "no RTO" 0 (Endpoint.rto_events server)
+
+let test_drop_fin_rto () =
+  (* Nothing follows the FIN, so no dupacks can ever form: only the
+     retransmission timer can repair a lost FIN. *)
+  let spec =
+    Netem.spec ~drop_filter:(fun p -> p.Packet.fin) { Netem.default with Netem.drop_list = [ 1 ] }
+  in
+  let w = make_world ~client_netem:spec () in
+  request_response_close w ~request:1000 ~response:20_000;
+  let server = Connection.server w.conn and client = Connection.client w.conn in
+  Alcotest.(check int) "all response bytes delivered" 20_000 !(w.received);
+  Alcotest.(check bool) "RTO repaired the lost FIN" true (Endpoint.rto_events server >= 1);
+  Alcotest.(check bool) "both closed" true (Endpoint.closed server && Endpoint.closed client)
+
+let test_drop_single_packet_response_rto () =
+  (* A one-packet response leaves no traffic to generate dupacks: loss of
+     that lone packet must fall back to the RTO. *)
+  let spec = Netem.spec ~drop_filter:first_tx_data { Netem.default with Netem.drop_list = [ 1 ] } in
+  let w = make_world ~client_netem:spec () in
+  request_response w ~request:100 ~response:1000;
+  let server = Connection.server w.conn in
+  Alcotest.(check int) "response recovered" 1000 !(w.received);
+  Alcotest.(check bool) "RTO fired" true (Endpoint.rto_events server >= 1);
+  Alcotest.(check int) "no fast retransmit possible" 0 (Endpoint.fast_recoveries server)
+
+let test_drop_pure_ack_harmless () =
+  (* Cumulative ACKs make a lost pure ACK invisible: the next ACK covers it,
+     and the sender must not retransmit anything. *)
+  let spec =
+    Netem.spec
+      ~drop_filter:(fun p -> p.Packet.payload = 0 && not p.Packet.syn && not p.Packet.fin)
+      { Netem.default with Netem.drop_list = [ 2 ] }
+  in
+  let w = make_world ~server_netem:spec () in
+  request_response_close w ~request:1000 ~response:50_000;
+  let server = Connection.server w.conn and client = Connection.client w.conn in
+  Alcotest.(check int) "exact delivery" 50_000 !(w.received);
+  Alcotest.(check int) "no retransmissions" 0 (Endpoint.retransmissions server);
+  Alcotest.(check int) "one ack absorbed" 1 (Path.netem_lost w.path);
+  Alcotest.(check bool) "both closed" true (Endpoint.closed server && Endpoint.closed client)
+
+let test_capture_counts_retransmissions () =
+  (* The capture's rtx oracle separates recovery traffic from first
+     transmissions: a single induced drop shows up as at least one captured
+     retransmission, and a clean path shows none. *)
+  let spec = Netem.spec ~drop_filter:first_tx_data { Netem.default with Netem.drop_list = [ 8 ] } in
+  let w = make_world ~rate_bps:(Units.mbps 50.0) ~delay:0.02 ~client_netem:spec () in
+  request_response_close w ~request:1000 ~response:100_000;
+  Alcotest.(check bool) "capture saw retransmitted packets" true
+    (Capture.rtx_count (Path.capture w.path) >= 1);
+  let clean = make_world () in
+  request_response_close clean ~request:1000 ~response:100_000;
+  Alcotest.(check int) "clean path captures no rtx" 0
+    (Capture.rtx_count (Path.capture clean.path))
+
+(* --- Netem stress battery: loss x reorder x CCA matrix ----------------- *)
+
+let test_netem_matrix_battery () =
+  let cells = Netem_eval.default_cells () in
+  let seq = Netem_eval.run_matrix ~seed:4242 cells in
+  (* Same master seed through a real multicore pool: the pre-split-RNG rule
+     makes the whole matrix bit-identical for any --jobs. *)
+  let par =
+    Stob_par.Pool.with_pool ~domains:4 (fun pool ->
+        Netem_eval.run_matrix ~pool ~seed:4242 cells)
+  in
+  Alcotest.(check bool) "matrix identical under --jobs 1 and --jobs 4" true (seq = par);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Format.asprintf "cell converged: %a" Netem_eval.pp_result r)
+        true (Netem_eval.converged r))
+    seq;
+  (* Impairment was actually exercised somewhere in the matrix. *)
+  Alcotest.(check bool) "matrix induced losses" true
+    (List.exists (fun r -> r.Netem_eval.netem_lost > 0) seq);
+  Alcotest.(check bool) "matrix induced reordering" true
+    (List.exists (fun r -> r.Netem_eval.netem_reordered > 0) seq)
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
@@ -610,5 +843,24 @@ let suite =
         Alcotest.test_case "dummies on wire, not delivered" `Quick
           test_dummy_packets_on_wire_not_delivered;
         Alcotest.test_case "cpu-bound throughput" `Quick test_cpu_bound_throughput;
+      ] );
+    ( "tcp.endpoint_regressions",
+      [
+        Alcotest.test_case "out-of-order FIN drained" `Quick test_ooo_fin_drained;
+        Alcotest.test_case "partial-overlap FIN" `Quick test_partial_overlap_fin;
+        Alcotest.test_case "karn: retransmitted SYN" `Quick test_karn_syn_retransmit;
+        Alcotest.test_case "karn: retransmitted SYN|ACK" `Quick test_karn_synack_retransmit;
+      ] );
+    ( "tcp.impairment",
+      [
+        Alcotest.test_case "drop nth data -> fast retransmit" `Quick
+          test_drop_nth_data_fast_retransmit;
+        Alcotest.test_case "two holes -> partial-ack recovery" `Quick
+          test_drop_two_holes_partial_ack;
+        Alcotest.test_case "drop FIN -> rto" `Quick test_drop_fin_rto;
+        Alcotest.test_case "drop lone packet -> rto" `Quick test_drop_single_packet_response_rto;
+        Alcotest.test_case "drop pure ack -> harmless" `Quick test_drop_pure_ack_harmless;
+        Alcotest.test_case "capture counts rtx" `Quick test_capture_counts_retransmissions;
+        Alcotest.test_case "loss x reorder x cca matrix" `Slow test_netem_matrix_battery;
       ] );
   ]
