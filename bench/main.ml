@@ -235,6 +235,155 @@ let run_micro ?(jobs = 1) () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Forest training benchmark: the seed's naive row-major CART trainer
+   (kept verbatim as Stob_ml.Reference) vs the presorted column-major
+   engine, on the Table-2 workload shape (9 classes, k-FP feature count).
+   Gates parity — the trees must be bit-identical — and the per-tree
+   speedup; the full run records both in BENCH_forest.json. *)
+
+module Dt = Stob_ml.Decision_tree
+module Rf = Stob_ml.Random_forest
+module Reference = Stob_ml.Reference
+
+let forest_workload ~n_per_class ~seed =
+  let n_classes = 9 in
+  let d = Stob_kfp.Features.dimension in
+  let rng = Stob_util.Rng.create seed in
+  let centers =
+    Array.init n_classes (fun _ -> Array.init d (fun _ -> Stob_util.Rng.uniform rng 0.0 100.0))
+  in
+  let n = n_classes * n_per_class in
+  let labels = Array.init n (fun i -> i mod n_classes) in
+  let features =
+    Array.init n (fun i ->
+        let c = centers.(labels.(i)) in
+        Array.init d (fun f ->
+            let v = c.(f) +. Stob_util.Rng.normal rng ~mu:0.0 ~sigma:25.0 in
+            (* Half the columns quantized: the duplicate-heavy shape real
+               k-FP features (packet counts, burst sizes) actually have. *)
+            if f mod 2 = 0 then Float.round v else v))
+  in
+  (features, labels, n_classes)
+
+let shape_of_tree tree =
+  Dt.fold tree
+    ~leaf:(fun ~id ~label ~dist -> Reference.Leaf { id; label; dist })
+    ~split:(fun ~feature ~threshold left right ->
+      Reference.Split { feature; threshold; left; right })
+
+let forest_micro ~features ~labels ~n_classes () =
+  let open Bechamel in
+  let open Toolkit in
+  let params ~n_trees = { Rf.default_params with Rf.n_trees; seed = 11 } in
+  let t_naive =
+    Test.make ~name:"naive-train-2"
+      (Staged.stage (fun () ->
+           ignore (Reference.train_forest ~params:(params ~n_trees:2) ~n_classes ~features ~labels ())))
+  in
+  let t_presorted =
+    Test.make ~name:"presorted-train-2"
+      (Staged.stage (fun () ->
+           ignore (Rf.train ~params:(params ~n_trees:2) ~n_classes ~features ~labels ())))
+  in
+  let tests = Test.make_grouped ~name:"forest" ~fmt:"%s/%s" [ t_naive; t_presorted ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let ns = match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan in
+      Printf.printf "  %-28s %14.1f ns/run\n" name ns)
+    (List.sort compare rows)
+
+let run_forest ~smoke () =
+  hr (if smoke then "Forest training benchmark (smoke)" else "Forest training benchmark");
+  let n_per_class = if smoke then 25 else 100 in
+  let trees_ref = if smoke then 8 else 10 in
+  let trees_fast = if smoke then 8 else 100 in
+  let features, labels, n_classes = forest_workload ~n_per_class ~seed:2024 in
+  let params ~n_trees = { Rf.default_params with Rf.n_trees; seed = 11 } in
+  Printf.printf "workload: %d samples x %d features, %d classes\n%!" (Array.length features)
+    Stob_kfp.Features.dimension n_classes;
+  (* Smoke timings are tens of milliseconds, so a single sample is at the
+     mercy of scheduler jitter; take the best of [reps] to keep the gate
+     stable.  The full run trains long enough that one sample suffices. *)
+  let reps = if smoke then 3 else 1 in
+  let time f =
+    let best = ref infinity in
+    let r = ref None in
+    for _ = 1 to reps do
+      let s = Unix.gettimeofday () in
+      let v = f () in
+      let e = Unix.gettimeofday () in
+      r := Some v;
+      if e -. s < !best then best := e -. s
+    done;
+    (Option.get !r, !best)
+  in
+  let reference, t_ref =
+    time (fun () ->
+        Reference.train_forest ~params:(params ~n_trees:trees_ref) ~n_classes ~features ~labels ())
+  in
+  let fast, t_fast =
+    time (fun () -> Rf.train ~params:(params ~n_trees:trees_fast) ~n_classes ~features ~labels ())
+  in
+  let per_ref = t_ref /. float_of_int trees_ref in
+  let per_fast = t_fast /. float_of_int trees_fast in
+  let speedup = per_ref /. per_fast in
+  Printf.printf "  naive (reference): %3d trees  %8.3f s  (%.4f s/tree)\n" trees_ref t_ref per_ref;
+  Printf.printf "  presorted:         %3d trees  %8.3f s  (%.4f s/tree)\n" trees_fast t_fast
+    per_fast;
+  Printf.printf "  per-tree speedup:  %.2fx\n%!" speedup;
+  (* Parity gate: per-tree generators are pre-split from the seed in tree
+     order, so tree i does not depend on the total tree count — the naive
+     forest's trees must be bit-identical to the first [trees_ref]
+     presorted trees even though the tree counts differ. *)
+  let fast_trees = Rf.trees fast in
+  let parity = ref true in
+  Array.iteri
+    (fun i (rt : Reference.tree) ->
+      if compare (shape_of_tree fast_trees.(i)) rt.Reference.root <> 0 then begin
+        parity := false;
+        Printf.printf "  PARITY MISMATCH at tree %d\n" i
+      end)
+    reference.Reference.trees;
+  Printf.printf "  parity: %s\n%!" (if !parity then "ok (trees bit-identical)" else "FAILED");
+  if not smoke then begin
+    let json =
+      Printf.sprintf
+        "{\n\
+        \  \"workload\": { \"n_samples\": %d, \"n_features\": %d, \"n_classes\": %d },\n\
+        \  \"naive\": { \"trees\": %d, \"wall_s\": %.6f, \"per_tree_s\": %.6f },\n\
+        \  \"presorted\": { \"trees\": %d, \"wall_s\": %.6f, \"per_tree_s\": %.6f },\n\
+        \  \"per_tree_speedup\": %.3f,\n\
+        \  \"parity\": %b\n\
+         }\n"
+        (Array.length features) Stob_kfp.Features.dimension n_classes trees_ref t_ref per_ref
+        trees_fast t_fast per_fast speedup !parity
+    in
+    let oc = open_out "BENCH_forest.json" in
+    output_string oc json;
+    close_out oc;
+    Printf.printf "  wrote BENCH_forest.json\n%!";
+    Printf.printf "\nBechamel (2-tree forests, same workload shape, %d samples):\n%!"
+      (9 * 12);
+    let mf, ml, mc = forest_workload ~n_per_class:12 ~seed:2024 in
+    forest_micro ~features:mf ~labels:ml ~n_classes:mc ()
+  end;
+  if not !parity then exit 1;
+  (* The smoke gate is a regression tripwire on a deliberately small
+     workload where presorting amortizes least and timings are noisy;
+     the headline >= 3x claim is gated by the full run only. *)
+  let min_speedup = if smoke then 1.5 else 3.0 in
+  if speedup < min_speedup then begin
+    Printf.printf "  FAILED: speedup %.2fx < required %.1fx\n" speedup min_speedup;
+    exit 1
+  end;
+  Printf.printf "  ok: speedup %.2fx >= %.1fx\n" speedup min_speedup
+
+(* ------------------------------------------------------------------ *)
 (* Smoke: assert that parallelism cannot change results.  Tiny inputs,
    real domains — run by `dune runtest` through the @quick-bench alias. *)
 
@@ -304,6 +453,7 @@ let () =
   let jobs = ref 1
   and loss = ref None
   and reorder = ref false
+  and smoke = ref false
   and netem_seed = ref 4242 in
   let die msg =
     prerr_endline ("main.exe: " ^ msg);
@@ -331,6 +481,9 @@ let () =
           | None -> die "--netem-seed expects an integer")
       | "--reorder" :: rest ->
           reorder := true;
+          extract acc rest
+      | "--smoke" :: rest ->
+          smoke := true;
           extract acc rest
       | x :: rest -> extract (x :: acc) rest
       | [] -> List.rev acc
@@ -370,11 +523,12 @@ let () =
   | [ "pareto" ] -> run_pareto ~quick:false ()
   | [ "pareto-quick" ] -> run_pareto ~quick:true ()
   | [ "micro" ] -> run_micro ~jobs ()
+  | [ "forest" ] -> run_forest ~smoke:!smoke ()
   | [ "netem" ] ->
       with_jobs (fun pool ->
           run_netem ?pool ~loss:!loss ~reorder:!reorder ~netem_seed:!netem_seed ())
   | _ ->
       prerr_endline
-        "usage: main.exe [--jobs N] [--loss F] [--reorder] [--netem-seed N] \
-         [quick|smoke|table1|table2|table2-quick|fig1|fig2|fig3|fig3-quick|ablation-stack|ablation-cca|ablation-quic|openworld|cca-id|httpos|importance|early-curve|dl|pareto|micro|netem]";
+        "usage: main.exe [--jobs N] [--loss F] [--reorder] [--netem-seed N] [--smoke] \
+         [quick|smoke|table1|table2|table2-quick|fig1|fig2|fig3|fig3-quick|ablation-stack|ablation-cca|ablation-quic|openworld|cca-id|httpos|importance|early-curve|dl|pareto|micro|forest|netem]";
       exit 2

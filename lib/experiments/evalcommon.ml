@@ -2,6 +2,7 @@ module Rng = Stob_util.Rng
 module Dataset = Stob_web.Dataset
 module Features = Stob_kfp.Features
 module Attack = Stob_kfp.Attack
+module Matrix = Stob_ml.Matrix
 
 let accuracy_cv ?(folds = 5) ?(trees = 100) ?(seed = 42) ?(pool = Stob_par.Pool.sequential)
     dataset =
@@ -21,15 +22,17 @@ let accuracy_cv ?(folds = 5) ?(trees = 100) ?(seed = 42) ?(pool = Stob_par.Pool.
     if Array.length test.Dataset.samples = 0 || Array.length train.Dataset.samples = 0 then
       None
     else begin
-      let feats d = Array.map (fun s -> Hashtbl.find cache s) d.Dataset.samples in
+      (* One column matrix per fold side, shared read-only by every tree
+         (and domain) the fold trains. *)
+      let feats d = Matrix.of_rows (Array.map (fun s -> Hashtbl.find cache s) d.Dataset.samples) in
       let labels d =
         Array.map (fun (s : Dataset.sample) -> s.Dataset.label) d.Dataset.samples
       in
       let attack =
-        Attack.train ~forest ~n_classes ~features:(feats train) ~labels:(labels train) ()
+        Attack.train_m ~forest ~n_classes ~matrix:(feats train) ~labels:(labels train) ()
       in
       Some
-        (Attack.evaluate attack ~mode:Attack.Forest_vote ~features:(feats test)
+        (Attack.evaluate_m attack ~mode:Attack.Forest_vote ~matrix:(feats test)
            ~labels:(labels test))
     end
   in

@@ -7,15 +7,19 @@ type ranking = (string * float) list
 type result = { undefended : ranking; defended : ranking; policy_name : string }
 
 let ranking_of dataset ~trees ~seed =
-  let features =
-    Array.map (fun (s : Dataset.sample) -> Features.extract s.Dataset.trace) dataset.Dataset.samples
+  (* Column matrix built once, shared read-only by every tree. *)
+  let matrix =
+    Stob_ml.Matrix.of_rows
+      (Array.map
+         (fun (s : Dataset.sample) -> Features.extract s.Dataset.trace)
+         dataset.Dataset.samples)
   in
   let labels = Array.map (fun (s : Dataset.sample) -> s.Dataset.label) dataset.Dataset.samples in
   let attack =
-    Attack.train
+    Attack.train_m
       ~forest:{ Stob_ml.Random_forest.default_params with n_trees = trees; seed }
       ~n_classes:(Array.length dataset.Dataset.site_names)
-      ~features ~labels ()
+      ~matrix ~labels ()
   in
   let importance = Stob_ml.Random_forest.feature_importance (Attack.forest attack) in
   Array.to_list (Array.mapi (fun i v -> (Features.names.(i), v)) importance)

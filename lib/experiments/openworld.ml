@@ -11,6 +11,10 @@ type result = { k : int; undefended : metrics; defended : metrics }
 let featurize dataset =
   Array.map (fun (s : Dataset.sample) -> Features.extract s.Dataset.trace) dataset.Dataset.samples
 
+(* One column matrix per corpus: built once, shared by forest training,
+   fingerprinting and the batched open-world predictions. *)
+let featurize_m dataset = Stob_ml.Matrix.of_rows (featurize dataset)
+
 let evaluate ~samples_per_site ~background_train_sites ~background_test_sites ~k ~trees ~seed
     ~quiet ?policy () =
   let say fmt = Printf.ksprintf (fun s -> if not quiet then Printf.eprintf "%s\n%!" s) fmt in
@@ -33,36 +37,38 @@ let evaluate ~samples_per_site ~background_train_sites ~background_test_sites ~k
   let rng = Rng.create (seed + 7) in
   let mon_train, mon_test = Dataset.split monitored ~rng ~train_fraction:0.7 in
   say "openworld: training (monitored classes + one background class)...";
-  let train_features = Array.append (featurize mon_train) (featurize bg_train) in
+  let train_matrix =
+    Stob_ml.Matrix.of_rows (Array.append (featurize mon_train) (featurize bg_train))
+  in
   let train_labels =
     Array.append
       (Array.map (fun (s : Dataset.sample) -> s.Dataset.label) mon_train.Dataset.samples)
       (Array.make (Array.length bg_train.Dataset.samples) unmon_label)
   in
   let attack =
-    Attack.train
+    Attack.train_m
       ~forest:{ Stob_ml.Random_forest.default_params with n_trees = trees; seed }
-      ~n_classes:(n_monitored + 1) ~features:train_features ~labels:train_labels ()
+      ~n_classes:(n_monitored + 1) ~matrix:train_matrix ~labels:train_labels ()
   in
   say "openworld: evaluating...";
   let tp = ref 0 and wrong = ref 0 and n_mon = ref 0 in
   Array.iteri
-    (fun i features ->
+    (fun i prediction ->
       incr n_mon;
       let truth = mon_test.Dataset.samples.(i).Dataset.label in
-      match Attack.predict_open_world attack ~k features with
+      match prediction with
       | Some l when l = truth -> incr tp
       | Some l when l <> unmon_label -> incr wrong
       | Some _ | None -> ())
-    (featurize mon_test);
+    (Attack.predict_open_world_all attack ~k (featurize_m mon_test));
   let fp = ref 0 and n_bg = ref 0 in
   Array.iter
-    (fun features ->
+    (fun prediction ->
       incr n_bg;
-      match Attack.predict_open_world attack ~k features with
+      match prediction with
       | Some l when l <> unmon_label -> incr fp
       | Some _ | None -> ())
-    (featurize bg_test);
+    (Attack.predict_open_world_all attack ~k (featurize_m bg_test));
   let frac a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
   { tpr = frac !tp !n_mon; wrong_site = frac !wrong !n_mon; fpr = frac !fp !n_bg }
 

@@ -60,15 +60,18 @@ let evaluate_variant ?(pool = Stob_par.Pool.sequential) ~config ~dataset ~varian
   let accuracies =
     Stob_par.Pool.map_list pool
       (fun (train, test) ->
+        (* One column matrix per fold side; all of this fold's trees share
+           it read-only instead of re-copying row pointers per tree. *)
         let feats d =
-          Array.map (fun s -> Hashtbl.find feature_cache (Hashtbl.find index s)) d.Dataset.samples
+          Stob_ml.Matrix.of_rows
+            (Array.map (fun s -> Hashtbl.find feature_cache (Hashtbl.find index s)) d.Dataset.samples)
         in
         let labels d = Array.map (fun s -> s.Dataset.label) d.Dataset.samples in
         let attack =
-          Attack.train ~forest:forest_params ~n_classes ~features:(feats train)
+          Attack.train_m ~forest:forest_params ~n_classes ~matrix:(feats train)
             ~labels:(labels train) ()
         in
-        Attack.evaluate attack ~mode:Attack.Forest_vote ~features:(feats test)
+        Attack.evaluate_m attack ~mode:Attack.Forest_vote ~matrix:(feats test)
           ~labels:(labels test))
       folds
   in

@@ -1,30 +1,50 @@
 module Rf = Stob_ml.Random_forest
 module Knn = Stob_ml.Knn
 module Eval = Stob_ml.Eval
+module Matrix = Stob_ml.Matrix
 
 type mode = Forest_vote | Leaf_knn of int
 
 type t = { forest : Rf.t; knn : Knn.t }
 
-let train ?(forest = Rf.default_params) ?pool ~n_classes ~features ~labels () =
-  let rf = Rf.train ~params:forest ?pool ~n_classes ~features ~labels () in
-  let fingerprints = Array.map (Rf.leaf_fingerprint rf) features in
+let train_m ?(forest = Rf.default_params) ?pool ~n_classes ~matrix ~labels () =
+  let rf = Rf.train_m ~params:forest ?pool ~n_classes ~matrix ~labels () in
+  let fingerprints = Rf.leaf_fingerprints rf matrix in
   let knn = Knn.create ~fingerprints ~labels ~n_classes in
   { forest = rf; knn }
+
+let train ?forest ?pool ~n_classes ~features ~labels () =
+  train_m ?forest ?pool ~n_classes ~matrix:(Matrix.of_rows features) ~labels ()
 
 let predict t ~mode x =
   match mode with
   | Forest_vote -> Rf.predict t.forest x
   | Leaf_knn k -> Knn.classify t.knn ~k (Rf.leaf_fingerprint t.forest x)
 
-let predict_all t ~mode xs = Array.map (predict t ~mode) xs
+let predict_all_m t ~mode m =
+  match mode with
+  | Forest_vote -> Rf.predict_all t.forest m
+  | Leaf_knn k ->
+      Array.init (Matrix.n_rows m) (fun row ->
+          Knn.classify t.knn ~k (Rf.leaf_fingerprint_m t.forest m row))
+
+let predict_all t ~mode xs = predict_all_m t ~mode (Matrix.of_rows xs)
+
+let evaluate_m t ~mode ~matrix ~labels =
+  Eval.accuracy ~predicted:(predict_all_m t ~mode matrix) ~actual:labels
 
 let evaluate t ~mode ~features ~labels =
-  Eval.accuracy ~predicted:(predict_all t ~mode features) ~actual:labels
+  evaluate_m t ~mode ~matrix:(Matrix.of_rows features) ~labels
 
-let predict_open_world t ~k x =
-  match Knn.nearest t.knn ~k (Rf.leaf_fingerprint t.forest x) with
+let open_world_of_nearest = function
   | [] -> None
   | (first, _) :: rest -> if List.for_all (fun (l, _) -> l = first) rest then Some first else None
+
+let predict_open_world t ~k x =
+  open_world_of_nearest (Knn.nearest t.knn ~k (Rf.leaf_fingerprint t.forest x))
+
+let predict_open_world_all t ~k m =
+  Array.init (Matrix.n_rows m) (fun row ->
+      open_world_of_nearest (Knn.nearest t.knn ~k (Rf.leaf_fingerprint_m t.forest m row)))
 
 let forest t = t.forest

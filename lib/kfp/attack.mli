@@ -6,7 +6,12 @@
       accuracy rates");
     - [Leaf_knn k]: k-nearest-neighbour over forest leaf fingerprints with
       Hamming distance — the original k-FP formulation, needed for
-      open-world settings. *)
+      open-world settings.
+
+    The [_m] variants take a column-major {!Stob_ml.Matrix.t}; build one
+    per fold ([Matrix.of_rows] over the cached feature rows) and share it
+    across forest training, fingerprinting and evaluation — it is
+    immutable and domain-safe. *)
 
 type mode = Forest_vote | Leaf_knn of int
 
@@ -20,15 +25,31 @@ val train :
   labels:int array ->
   unit ->
   t
+(** Row-major convenience wrapper over {!train_m}. *)
+
+val train_m :
+  ?forest:Stob_ml.Random_forest.params ->
+  ?pool:Stob_par.Pool.t ->
+  n_classes:int ->
+  matrix:Stob_ml.Matrix.t ->
+  labels:int array ->
+  unit ->
+  t
 (** [?pool] parallelizes forest training (deterministically — see
-    {!Stob_ml.Random_forest.train}). *)
+    {!Stob_ml.Random_forest.train_m}).  Training fingerprints are computed
+    in one batch over the same matrix. *)
 
 val predict : t -> mode:mode -> float array -> int
 
 val predict_all : t -> mode:mode -> float array array -> int array
 
+val predict_all_m : t -> mode:mode -> Stob_ml.Matrix.t -> int array
+(** Batch prediction straight off a feature matrix. *)
+
 val evaluate : t -> mode:mode -> features:float array array -> labels:int array -> float
 (** Accuracy on a labelled test set. *)
+
+val evaluate_m : t -> mode:mode -> matrix:Stob_ml.Matrix.t -> labels:int array -> float
 
 val predict_open_world : t -> k:int -> float array -> int option
 (** The original k-FP open-world rule: classify as monitored site [s] only
@@ -36,5 +57,8 @@ val predict_open_world : t -> k:int -> float array -> int option
     forest leaves) carry label [s]; any disagreement means "unmonitored"
     ([None]).  Train the attack on monitored sites plus background traffic
     collapsed into one extra class. *)
+
+val predict_open_world_all : t -> k:int -> Stob_ml.Matrix.t -> int option array
+(** Batch {!predict_open_world} over every row of a test matrix. *)
 
 val forest : t -> Stob_ml.Random_forest.t

@@ -43,8 +43,11 @@ let burst_lengths trace dir =
   if !current > 0 then bursts := float_of_int !current :: !bursts;
   Array.of_list (List.rev !bursts)
 
+(* Counting fold — the seed materialized the matching elements through an
+   [Array.to_list -> List.filter -> Array.of_list] round-trip just to take
+   a length. *)
 let count_ge bursts threshold =
-  float_of_int (Array.length (Array.of_list (List.filter (fun b -> b >= threshold) (Array.to_list bursts))))
+  Array.fold_left (fun acc b -> if b >= threshold then acc +. 1.0 else acc) 0.0 bursts
 
 let concentration trace =
   let n = Trace.length trace in

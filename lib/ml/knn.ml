@@ -14,13 +14,45 @@ let create ~fingerprints ~labels ~n_classes =
   if Array.length fingerprints = 0 then invalid_arg "Knn.create: empty training set";
   { fingerprints; labels; n_classes }
 
+(* Bounded top-k selection, ordered by (distance, training index) with
+   explicit int comparisons: the k best live in [bd]/[bi] as a sorted
+   prefix; insertion shifts only past strictly-greater distances, and a
+   candidate that merely ties the current worst is rejected — so among
+   equal distances the earliest training samples win, and the result is
+   independent of label values.  O(n k) worst case with k small, no
+   full-array sort, no tuple allocation. *)
 let nearest t ~k x =
-  let distances =
-    Array.mapi (fun i fp -> (hamming fp x, t.labels.(i))) t.fingerprints
-  in
-  Array.sort compare distances;
-  Array.to_list (Array.sub distances 0 (min k (Array.length distances)))
-  |> List.map (fun (d, l) -> (l, d))
+  let n = Array.length t.fingerprints in
+  let k = min k n in
+  if k <= 0 then []
+  else begin
+    let bd = Array.make k 0 and bi = Array.make k 0 in
+    let filled = ref 0 in
+    for i = 0 to n - 1 do
+      let d = hamming t.fingerprints.(i) x in
+      let limit =
+        if !filled < k then begin
+          incr filled;
+          !filled - 1
+        end
+        else if d < bd.(k - 1) then k - 1
+        else -1
+      in
+      if limit >= 0 then begin
+        let pos = ref limit in
+        while !pos > 0 && bd.(!pos - 1) > d do
+          decr pos
+        done;
+        for j = limit downto !pos + 1 do
+          bd.(j) <- bd.(j - 1);
+          bi.(j) <- bi.(j - 1)
+        done;
+        bd.(!pos) <- d;
+        bi.(!pos) <- i
+      end
+    done;
+    List.init k (fun j -> (t.labels.(bi.(j)), bd.(j)))
+  end
 
 let classify t ~k x =
   let votes = Array.make t.n_classes 0 in

@@ -14,10 +14,12 @@ let default_params =
 
 type t = { trees : Decision_tree.t array; n_classes : int }
 
-let train ?(params = default_params) ?(pool = Pool.sequential) ~n_classes ~features ~labels () =
-  let n = Array.length features in
+let train_m ?(params = default_params) ?(pool = Pool.sequential) ~n_classes ~matrix ~labels () =
+  let n = Matrix.n_rows matrix in
   if n = 0 then invalid_arg "Random_forest.train: no samples";
-  let n_features = Array.length features.(0) in
+  if Array.length labels <> n then
+    invalid_arg "Random_forest.train: labels/matrix length mismatch";
+  let n_features = Matrix.n_cols matrix in
   let per_split =
     match params.features_per_split with
     | `All -> None
@@ -31,34 +33,42 @@ let train ?(params = default_params) ?(pool = Pool.sequential) ~n_classes ~featu
       features_per_split = per_split;
     }
   in
+  (* The column matrix and its presort are immutable: one copy is shared
+     by every tree and every domain.  A tree allocates only its bootstrap
+     index array (plus the trainer's per-tree scratch) — no row copies. *)
+  let orders = Matrix.presorted matrix in
   let master = Rng.create params.seed in
   (* Pre-split one generator per tree, in tree order; [split] only consumes
      the master stream, so this matches the sequential interleaving
      bit-for-bit and makes per-tree training order-independent. *)
   let rngs = Array.init params.n_trees (fun _ -> Rng.split master) in
   let train_tree rng =
-    (* Bootstrap resample. *)
-    let boot_features = Array.make n features.(0) in
-    let boot_labels = Array.make n 0 in
+    let sample = Array.make n 0 in
     for i = 0 to n - 1 do
-      let j = Rng.int rng n in
-      boot_features.(i) <- features.(j);
-      boot_labels.(i) <- labels.(j)
+      sample.(i) <- Rng.int rng n
     done;
-    Decision_tree.train ~params:tree_params ~rng ~n_classes ~features:boot_features
-      ~labels:boot_labels ()
+    Decision_tree.train_presorted ~params:tree_params ~rng ~n_classes ~matrix ~labels ~sample
+      ~orders ()
   in
   { trees = Pool.map pool train_tree rngs; n_classes }
 
+let train ?params ?pool ~n_classes ~features ~labels () =
+  if Array.length features = 0 then invalid_arg "Random_forest.train: no samples";
+  train_m ?params ?pool ~n_classes ~matrix:(Matrix.of_rows features) ~labels ()
+
 let predict_proba t x =
   let acc = Array.make t.n_classes 0.0 in
-  Array.iter
-    (fun tree ->
-      let dist = Decision_tree.predict_dist tree x in
-      Array.iteri (fun c p -> acc.(c) <- acc.(c) +. p) dist)
-    t.trees;
+  Array.iter (fun tree -> Decision_tree.add_dist tree x ~into:acc) t.trees;
   let n = float_of_int (Array.length t.trees) in
-  Array.map (fun v -> v /. n) acc
+  for c = 0 to t.n_classes - 1 do
+    acc.(c) <- acc.(c) /. n
+  done;
+  acc
+
+let vote_argmax votes =
+  let best = ref 0 in
+  Array.iteri (fun c v -> if v > votes.(!best) then best := c) votes;
+  !best
 
 let predict t x =
   let votes = Array.make t.n_classes 0 in
@@ -67,14 +77,30 @@ let predict t x =
       let c = Decision_tree.predict tree x in
       votes.(c) <- votes.(c) + 1)
     t.trees;
-  let best = ref 0 in
-  Array.iteri (fun c v -> if v > votes.(!best) then best := c) votes;
-  !best
+  vote_argmax votes
+
+let predict_all t m =
+  let votes = Array.make t.n_classes 0 in
+  Array.init (Matrix.n_rows m) (fun row ->
+      Array.fill votes 0 t.n_classes 0;
+      Array.iter
+        (fun tree ->
+          let c = Decision_tree.predict_m tree m row in
+          votes.(c) <- votes.(c) + 1)
+        t.trees;
+      vote_argmax votes)
 
 let leaf_fingerprint t x = Array.map (fun tree -> Decision_tree.leaf_id tree x) t.trees
 
+let leaf_fingerprint_m t m row =
+  Array.map (fun tree -> Decision_tree.leaf_id_m tree m row) t.trees
+
+let leaf_fingerprints t m = Array.init (Matrix.n_rows m) (fun row -> leaf_fingerprint_m t m row)
+
 let n_trees t = Array.length t.trees
 let n_classes t = t.n_classes
+
+let trees t = Array.copy t.trees
 
 let feature_importance t =
   let n_features =

@@ -4,7 +4,13 @@
     on a bootstrap resample considering ~sqrt(d) features per split;
     classification is the majority vote.  [leaf_fingerprint] exposes the
     per-tree leaf identifiers — the "fingerprint" that gives k-FP its name,
-    used with Hamming-distance k-NN in the open-world attack variant. *)
+    used with Hamming-distance k-NN in the open-world attack variant.
+
+    Training runs on the column-major presorted path ({!Matrix},
+    {!Decision_tree.train_presorted}): the matrix and its per-feature
+    presort are built once and shared — immutably — across all trees and
+    worker domains; each tree draws only a bootstrap {e index} array
+    instead of copying row pointers. *)
 
 type params = {
   n_trees : int;
@@ -27,18 +33,41 @@ val train :
   labels:int array ->
   unit ->
   t
+(** Row-major convenience wrapper over {!train_m} ([Matrix.of_rows] once,
+    then the shared-presort path). *)
+
+val train_m :
+  ?params:params ->
+  ?pool:Stob_par.Pool.t ->
+  n_classes:int ->
+  matrix:Matrix.t ->
+  labels:int array ->
+  unit ->
+  t
 (** [?pool] parallelizes per-tree training.  The per-tree generators are
     pre-split from the seed in tree order, so the forest is bit-identical
-    for any domain count (and to the historical sequential behavior). *)
+    for any domain count (and to the historical sequential behavior).
+    Build the matrix once per fold and share it — it is read-only. *)
 
 val predict : t -> float array -> int
 (** Majority vote over the trees (ties break toward the lower label). *)
 
+val predict_all : t -> Matrix.t -> int array
+(** Batch {!predict} over every row of a test matrix (one reusable vote
+    buffer, no row materialization). *)
+
 val predict_proba : t -> float array -> float array
-(** Mean leaf class distribution over trees. *)
+(** Mean leaf class distribution over trees (accumulated in place — no
+    per-tree copies). *)
 
 val leaf_fingerprint : t -> float array -> int array
 (** One leaf id per tree. *)
+
+val leaf_fingerprint_m : t -> Matrix.t -> int -> int array
+(** [leaf_fingerprint] for one row of a column matrix. *)
+
+val leaf_fingerprints : t -> Matrix.t -> int array array
+(** Batch fingerprints for every row of a matrix. *)
 
 val feature_importance : t -> float array
 (** Mean Gini importance over the trees, normalized to sum to 1 (all zeros
@@ -46,3 +75,7 @@ val feature_importance : t -> float array
 
 val n_trees : t -> int
 val n_classes : t -> int
+
+val trees : t -> Decision_tree.t array
+(** The individual trees, in training order (fresh array, shared trees) —
+    for the parity battery and the forest benchmark. *)

@@ -185,6 +185,212 @@ let test_knn_nearest_sorted () =
       Alcotest.(check bool) "sorted distances" true (d1 <= d2 && d2 <= d3)
   | _ -> Alcotest.fail "expected three neighbours"
 
+(* Regression: neighbour ties break by (distance, training index), not by
+   label value as the seed's polymorphic sort of (distance, label) tuples
+   accidentally did.  Distances to [|0;0|]: idx 0 -> 0, idx 1 -> 1,
+   idx 2 -> 1, idx 3 -> 0; training order puts idx 0 (label 3) before
+   idx 3 (label 0), and idx 1 (label 1) before idx 2 (label 2). *)
+let test_knn_tie_breaks_by_training_order () =
+  let fingerprints = [| [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |]; [| 0; 0 |] |] in
+  let labels = [| 3; 1; 2; 0 |] in
+  let knn = Knn.create ~fingerprints ~labels ~n_classes:4 in
+  Alcotest.(check (list (pair int int)))
+    "ties in training order"
+    [ (3, 0); (0, 0); (1, 1) ]
+    (Knn.nearest knn ~k:3 [| 0; 0 |]);
+  Alcotest.(check (list (pair int int)))
+    "boundary tie keeps the earlier sample"
+    [ (3, 0) ]
+    (Knn.nearest knn ~k:1 [| 0; 0 |]);
+  Alcotest.(check int) "k larger than the training set is clamped" 4
+    (List.length (Knn.nearest knn ~k:10 [| 0; 0 |]))
+
+(* --- Matrix --- *)
+
+let test_matrix_of_rows () =
+  let m = Matrix.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |] in
+  Alcotest.(check int) "rows" 3 (Matrix.n_rows m);
+  Alcotest.(check int) "cols" 2 (Matrix.n_cols m);
+  Alcotest.(check (float 0.0)) "get" 4.0 (Matrix.get m 1 1);
+  Alcotest.(check bool) "row round-trips" true (Matrix.row m 2 = [| 5.0; 6.0 |]);
+  Alcotest.(check bool) "ragged raises" true
+    (try
+       ignore (Matrix.of_rows [| [| 1.0 |]; [| 1.0; 2.0 |] |]);
+       false
+     with Invalid_argument _ -> true);
+  let empty = Matrix.of_rows [||] in
+  Alcotest.(check int) "empty rows" 0 (Matrix.n_rows empty);
+  Alcotest.(check int) "empty cols" 0 (Matrix.n_cols empty)
+
+let test_matrix_presorted () =
+  let m = Matrix.of_rows [| [| 3.0 |]; [| 1.0 |]; [| 2.0 |]; [| 1.0 |] |] in
+  let orders = Matrix.presorted m in
+  Alcotest.(check int) "one order per column" 1 (Array.length orders);
+  let order = orders.(0) in
+  Alcotest.(check int) "permutation size" 4 (Array.length order);
+  Alcotest.(check bool) "is a permutation" true
+    (List.sort_uniq compare (Array.to_list order) = [ 0; 1; 2; 3 ]);
+  let sorted = ref true in
+  for i = 0 to Array.length order - 2 do
+    if Matrix.get m order.(i) 0 > Matrix.get m order.(i + 1) 0 then sorted := false
+  done;
+  Alcotest.(check bool) "sorted by value" true !sorted
+
+(* --- Presorted trainer vs the seed oracle (Reference) ---
+
+   The column-major presorted trainer must reproduce the seed's naive
+   row-major trainer bit for bit: same structure, same thresholds, same
+   leaf ids and distributions, same feature gains — on messy inputs full
+   of duplicate and constant feature values, across the parameter grid. *)
+
+let shape_of_tree tree =
+  Decision_tree.fold tree
+    ~leaf:(fun ~id ~label ~dist -> Reference.Leaf { id; label; dist })
+    ~split:(fun ~feature ~threshold left right ->
+      Reference.Split { feature; threshold; left; right })
+
+let check_tree_parity ~msg ~params ~seed ~n_classes ~features ~labels =
+  let oracle =
+    Reference.train_tree ~params ~rng:(Rng.create seed) ~n_classes ~features ~labels ()
+  in
+  let tree =
+    Decision_tree.train ~params ~rng:(Rng.create seed) ~n_classes ~features ~labels ()
+  in
+  Alcotest.(check bool) (msg ^ ": structure") true
+    (compare (shape_of_tree tree) oracle.Reference.root = 0);
+  Alcotest.(check bool) (msg ^ ": gains") true
+    (compare (Decision_tree.feature_gains tree) oracle.Reference.gains = 0);
+  Alcotest.(check int) (msg ^ ": n_leaves") oracle.Reference.n_leaves (Decision_tree.n_leaves tree);
+  Alcotest.(check int) (msg ^ ": depth") oracle.Reference.depth (Decision_tree.depth tree)
+
+(* Columns are a random mix of continuous, heavily-duplicated (quantized)
+   and constant values — the shapes that stress tie-breaking. *)
+let messy_dataset rng ~n ~d ~n_classes =
+  let kind = Array.init d (fun _ -> Rng.int rng 3) in
+  let features =
+    Array.init n (fun _ ->
+        Array.init d (fun f ->
+            match kind.(f) with
+            | 0 -> Rng.uniform rng 0.0 10.0
+            | 1 -> float_of_int (Rng.int rng 5)
+            | _ -> 4.25))
+  in
+  let labels = Array.init n (fun _ -> Rng.int rng n_classes) in
+  (features, labels)
+
+let test_tree_matches_reference () =
+  let rng = Rng.create 77 in
+  let case = ref 0 in
+  List.iter
+    (fun (n, d, n_classes) ->
+      List.iter
+        (fun (max_depth, min_samples_leaf, features_per_split) ->
+          incr case;
+          let features, labels = messy_dataset rng ~n ~d ~n_classes in
+          check_tree_parity
+            ~msg:
+              (Printf.sprintf "case %d (n=%d d=%d c=%d depth=%d leaf=%d)" !case n d n_classes
+                 max_depth min_samples_leaf)
+            ~params:{ Decision_tree.max_depth; min_samples_leaf; features_per_split }
+            ~seed:(1000 + !case) ~n_classes ~features ~labels)
+        [ (32, 1, None); (2, 1, None); (6, 1, Some 2); (32, 5, None); (32, 2, Some 3) ])
+    [ (30, 3, 2); (80, 6, 4); (50, 5, 3); (120, 4, 5) ]
+
+let test_tree_matches_reference_edges () =
+  (* All-constant features: no split improves Gini, single leaf. *)
+  let features = Array.make 20 [| 1.5; 1.5 |] in
+  let labels = Array.init 20 (fun i -> i mod 2) in
+  check_tree_parity ~msg:"constant features" ~params:Decision_tree.default_params ~seed:3
+    ~n_classes:2 ~features ~labels;
+  (* Smallest splittable input. *)
+  check_tree_parity ~msg:"two samples" ~params:Decision_tree.default_params ~seed:4 ~n_classes:2
+    ~features:[| [| 0.0 |]; [| 1.0 |] |]
+    ~labels:[| 1; 0 |];
+  (* min_samples_leaf large enough to veto most candidate splits. *)
+  let rng = Rng.create 5 in
+  let features, labels = messy_dataset rng ~n:12 ~d:3 ~n_classes:3 in
+  check_tree_parity ~msg:"oversized leaves"
+    ~params:{ Decision_tree.default_params with min_samples_leaf = 7 }
+    ~seed:6 ~n_classes:3 ~features ~labels
+
+let test_forest_matches_reference () =
+  let rng = Rng.create 31 in
+  let features, labels = messy_dataset rng ~n:60 ~d:5 ~n_classes:3 in
+  let params = { Random_forest.default_params with n_trees = 12; seed = 9 } in
+  let oracle = Reference.train_forest ~params ~n_classes:3 ~features ~labels () in
+  let forest = Random_forest.train ~params ~n_classes:3 ~features ~labels () in
+  let trees = Random_forest.trees forest in
+  Alcotest.(check int) "tree count" (Array.length oracle.Reference.trees) (Array.length trees);
+  Array.iteri
+    (fun i (rt : Reference.tree) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tree %d structure" i)
+        true
+        (compare (shape_of_tree trees.(i)) rt.Reference.root = 0))
+    oracle.Reference.trees;
+  Alcotest.(check bool) "importance" true
+    (compare (Random_forest.feature_importance forest) (Reference.forest_importance oracle) = 0);
+  let test_f, _ = messy_dataset rng ~n:40 ~d:5 ~n_classes:3 in
+  Array.iter
+    (fun x ->
+      Alcotest.(check int) "prediction" (Reference.forest_predict oracle x)
+        (Random_forest.predict forest x);
+      Alcotest.(check bool) "fingerprint" true
+        (Reference.forest_fingerprint oracle x = Random_forest.leaf_fingerprint forest x))
+    test_f
+
+let test_forest_pool_invariant () =
+  let rng = Rng.create 41 in
+  let features, labels = messy_dataset rng ~n:50 ~d:4 ~n_classes:3 in
+  let params = { Random_forest.default_params with n_trees = 8; seed = 2 } in
+  let train pool = Random_forest.train ~params ?pool ~n_classes:3 ~features ~labels () in
+  let seq = train None in
+  Stob_par.Pool.with_pool ~domains:3 (fun pool ->
+      let par = train (Some pool) in
+      Array.iteri
+        (fun i a ->
+          Alcotest.(check bool)
+            (Printf.sprintf "tree %d identical across domain counts" i)
+            true
+            (compare (shape_of_tree a) (shape_of_tree (Random_forest.trees par).(i)) = 0))
+        (Random_forest.trees seq))
+
+let test_batch_inference_matches_rowwise () =
+  let rng = Rng.create 51 in
+  let features, labels = messy_dataset rng ~n:60 ~d:4 ~n_classes:4 in
+  let forest =
+    Random_forest.train
+      ~params:{ Random_forest.default_params with n_trees = 9; seed = 7 }
+      ~n_classes:4 ~features ~labels ()
+  in
+  let test_f, _ = messy_dataset rng ~n:30 ~d:4 ~n_classes:4 in
+  let m = Matrix.of_rows test_f in
+  Alcotest.(check bool) "predict_all == predict" true
+    (Random_forest.predict_all forest m = Array.map (Random_forest.predict forest) test_f);
+  Alcotest.(check bool) "leaf_fingerprints == leaf_fingerprint" true
+    (Random_forest.leaf_fingerprints forest m
+    = Array.map (Random_forest.leaf_fingerprint forest) test_f)
+
+(* The end-to-end determinism contract: a cross-validated attack through
+   Evalcommon must give bit-identical accuracies at --jobs 1 and --jobs 3
+   now that folds share one column matrix across worker domains. *)
+let test_accuracy_cv_jobs_invariant () =
+  let dataset =
+    Stob_web.Dataset.sanitize
+      (Stob_web.Dataset.generate ~samples_per_site:6 ~seed:5 ~failure_rate:0.0
+         ~profiles:
+           [
+             Stob_web.Sites.find "bing.com";
+             Stob_web.Sites.find "youtube.com";
+             Stob_web.Sites.find "whatsapp.net";
+           ]
+         ())
+  in
+  let cv p = Stob_experiments.Evalcommon.accuracy_cv ~folds:3 ~trees:10 ?pool:p dataset in
+  let seq = cv None in
+  Stob_par.Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check bool) "--jobs 1 == --jobs 3" true (seq = cv (Some pool)))
+
 (* --- Eval --- *)
 
 let test_eval_accuracy () =
@@ -252,6 +458,24 @@ let suite =
         Alcotest.test_case "hamming" `Quick test_knn_hamming;
         Alcotest.test_case "classify" `Quick test_knn_classify;
         Alcotest.test_case "nearest sorted" `Quick test_knn_nearest_sorted;
+        Alcotest.test_case "tie-break by training order" `Quick
+          test_knn_tie_breaks_by_training_order;
+      ] );
+    ( "ml.matrix",
+      [
+        Alcotest.test_case "of_rows" `Quick test_matrix_of_rows;
+        Alcotest.test_case "presorted" `Quick test_matrix_presorted;
+      ] );
+    ( "ml.parity",
+      [
+        Alcotest.test_case "tree == reference oracle" `Quick test_tree_matches_reference;
+        Alcotest.test_case "tree == reference oracle (edges)" `Quick
+          test_tree_matches_reference_edges;
+        Alcotest.test_case "forest == reference oracle" `Quick test_forest_matches_reference;
+        Alcotest.test_case "forest invariant across domains" `Quick test_forest_pool_invariant;
+        Alcotest.test_case "batch inference == row-wise" `Quick
+          test_batch_inference_matches_rowwise;
+        Alcotest.test_case "accuracy_cv jobs-invariant" `Slow test_accuracy_cv_jobs_invariant;
       ] );
     ( "ml.eval",
       [
