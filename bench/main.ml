@@ -148,6 +148,42 @@ let run_netem ?pool ~loss ~reorder ~netem_seed () =
   Printf.printf "\nall %d cells converged (seed %d)\n" (List.length results) netem_seed
 
 (* ------------------------------------------------------------------ *)
+(* Chaos battery: seeded fault injection under the runtime invariant
+   monitor, with the degradation ladder engaged.  Gates: every cell
+   completes its page loads without a crash or livelock, no-fault cells
+   report zero violations, and (smoke) the sweep is jobs-invariant. *)
+
+let run_chaos ?pool ~smoke ~chaos_seed () =
+  let module C = Stob_check.Chaos in
+  hr
+    (if smoke then "Chaos battery (smoke): fault injection under invariant monitoring"
+     else "Chaos battery: fault injection under invariant monitoring");
+  let scenarios = if smoke then C.smoke_scenarios () else C.default_scenarios () in
+  let results = C.run_sweep ?pool ~seed:chaos_seed scenarios in
+  C.print_sweep results;
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  List.iter
+    (fun (r : C.report) ->
+      if not (C.survived r) then
+        fail "%s: did not survive (crash/livelock/incomplete)" (C.scenario_name r.C.scenario);
+      if r.C.scenario.C.fault = None && not (C.clean r) then
+        fail "%s: no-fault cell reported %d violation(s)" (C.scenario_name r.C.scenario)
+          r.C.total_violations)
+    results;
+  if smoke then
+    Pool.with_pool ~domains:3 (fun p ->
+        let par = C.run_sweep ~pool:p ~seed:chaos_seed scenarios in
+        if par <> results then fail "jobs parity: parallel chaos sweep differs from sequential");
+  match List.rev !failures with
+  | [] ->
+      Printf.printf "\nchaos: all gates passed (%d cells, seed %d)\n" (List.length results)
+        chaos_seed
+  | fs ->
+      List.iter (fun f -> Printf.printf "chaos FAILURE: %s\n" f) fs;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one per hot path.                          *)
 
 let microbench_tests ~cv_pool () =
@@ -454,7 +490,8 @@ let () =
   and loss = ref None
   and reorder = ref false
   and smoke = ref false
-  and netem_seed = ref 4242 in
+  and netem_seed = ref 4242
+  and chaos_seed = ref 1337 in
   let die msg =
     prerr_endline ("main.exe: " ^ msg);
     exit 2
@@ -479,6 +516,12 @@ let () =
               netem_seed := s;
               extract acc rest
           | None -> die "--netem-seed expects an integer")
+      | "--chaos-seed" :: n :: rest -> (
+          match int_of_string_opt n with
+          | Some s ->
+              chaos_seed := s;
+              extract acc rest
+          | None -> die "--chaos-seed expects an integer")
       | "--reorder" :: rest ->
           reorder := true;
           extract acc rest
@@ -527,8 +570,11 @@ let () =
   | [ "netem" ] ->
       with_jobs (fun pool ->
           run_netem ?pool ~loss:!loss ~reorder:!reorder ~netem_seed:!netem_seed ())
+  | [ "chaos" ] ->
+      with_jobs (fun pool -> run_chaos ?pool ~smoke:!smoke ~chaos_seed:!chaos_seed ())
   | _ ->
       prerr_endline
-        "usage: main.exe [--jobs N] [--loss F] [--reorder] [--netem-seed N] [--smoke] \
-         [quick|smoke|table1|table2|table2-quick|fig1|fig2|fig3|fig3-quick|ablation-stack|ablation-cca|ablation-quic|openworld|cca-id|httpos|importance|early-curve|dl|pareto|micro|forest|netem]";
+        "usage: main.exe [--jobs N] [--loss F] [--reorder] [--netem-seed N] [--chaos-seed N] \
+         [--smoke] \
+         [quick|smoke|table1|table2|table2-quick|fig1|fig2|fig3|fig3-quick|ablation-stack|ablation-cca|ablation-quic|openworld|cca-id|httpos|importance|early-curve|dl|pareto|micro|forest|netem|chaos]";
       exit 2

@@ -1,11 +1,55 @@
 (* stobctl: command-line interface to the Stob reproduction.
 
    Subcommands cover the whole pipeline: dataset generation, the k-FP
-   attack, defenses and overheads, the throughput experiments, and the
-   architecture renderings.  `stobctl <cmd> --help` documents each. *)
+   attack, defenses and overheads, the throughput experiments, the chaos
+   battery, and the architecture renderings.  `stobctl <cmd> --help`
+   documents each.
+
+   Argument validation lives entirely in Cmdliner converters: a bad value
+   is a parse error (exit code 124, documented under EXIT STATUS) rather
+   than an ad-hoc mid-run exit.  Exit code 1 is reserved for failed
+   evaluation gates. *)
 
 open Cmdliner
 open Stob_experiments
+
+(* --- exit codes -------------------------------------------------------- *)
+
+(* One shared table so every subcommand's EXIT STATUS section documents
+   the same contract. *)
+let exits =
+  Cmd.Exit.info 1
+    ~doc:
+      "on a failed evaluation gate: a netem cell failed to converge, or a chaos cell crashed, \
+       livelocked, left its page load incomplete, or (no-fault cells) reported an invariant \
+       violation."
+  :: Cmd.Exit.defaults
+
+let cmd_info name ~doc = Cmd.info name ~doc ~exits
+
+(* --- argument converters ----------------------------------------------- *)
+
+let pos_int_conv ~docv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v > 0 -> Ok v
+    | Some _ | None -> Error (`Msg (Printf.sprintf "'%s' is not a positive integer" s))
+  in
+  Arg.conv ~docv (parse, Format.pp_print_int)
+
+let bounded_float ~docv ~what check =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when check v -> Ok v
+    | Some _ | None -> Error (`Msg (Printf.sprintf "'%s' is not %s" s what))
+  in
+  Arg.conv ~docv (parse, fun fmt v -> Format.fprintf fmt "%g" v)
+
+let prob_conv =
+  bounded_float ~docv:"P" ~what:"a probability in [0, 1]" (fun v -> v >= 0.0 && v <= 1.0)
+
+let pos_float_conv ~docv = bounded_float ~docv ~what:"a positive number" (fun v -> v > 0.0)
+let nonneg_float_conv ~docv = bounded_float ~docv ~what:"a non-negative number" (fun v -> v >= 0.0)
 
 (* --- shared options --------------------------------------------------- *)
 
@@ -19,7 +63,7 @@ let jobs =
      cross-validation, throughput sweeps).  Results are independent of this value; 1 means \
      sequential."
   in
-  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  Arg.(value & opt (pos_int_conv ~docv:"N") 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 (* Run [f] with [Some pool] of [jobs] domains (or [None] when sequential),
    always joining the workers afterwards. *)
@@ -29,19 +73,36 @@ let with_jobs jobs f =
 
 let samples =
   let doc = "Page-load samples to generate per site." in
-  Arg.(value & opt int 100 & info [ "samples" ] ~docv:"N" ~doc)
+  Arg.(value & opt (pos_int_conv ~docv:"N") 100 & info [ "samples" ] ~docv:"N" ~doc)
 
 let folds =
   let doc = "Cross-validation folds." in
-  Arg.(value & opt int 5 & info [ "folds" ] ~docv:"K" ~doc)
+  Arg.(value & opt (pos_int_conv ~docv:"K") 5 & info [ "folds" ] ~docv:"K" ~doc)
 
 let trees =
   let doc = "Random-forest size." in
-  Arg.(value & opt int 100 & info [ "trees" ] ~docv:"N" ~doc)
+  Arg.(value & opt (pos_int_conv ~docv:"N") 100 & info [ "trees" ] ~docv:"N" ~doc)
+
+(* Resolves to (name, profile) at parse time: an unknown site is a usage
+   error, not a mid-run crash. *)
+let site_conv =
+  let parse name =
+    match Stob_web.Sites.find name with
+    | profile -> Ok (name, profile)
+    | exception Not_found ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown site %s (known: %s)" name
+                (String.concat ", " Stob_web.Sites.names)))
+  in
+  Arg.conv ~docv:"SITE" (parse, fun fmt (name, _) -> Format.pp_print_string fmt name)
 
 let site =
   let doc = "Monitored site (one of the nine paper sites)." in
-  Arg.(value & opt string "bing.com" & info [ "site" ] ~docv:"SITE" ~doc)
+  Arg.(
+    value
+    & opt site_conv ("bing.com", Stob_web.Sites.find "bing.com")
+    & info [ "site" ] ~docv:"SITE" ~doc)
 
 let policy_names = List.map fst (Stob_core.Strategies.all_named ())
 
@@ -49,23 +110,29 @@ let transport_arg =
   let doc = "Transport: tcp (HTTP/1.1 pool) or quic (HTTP/3 single connection)." in
   Arg.(value & opt (enum [ ("tcp", `Tcp); ("quic", `Quic) ]) `Tcp & info [ "transport" ] ~doc)
 
+(* Resolves the policy name to the policy itself at parse time. *)
+let policy_conv =
+  let parse name =
+    match List.assoc_opt name (Stob_core.Strategies.all_named ()) with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown policy %s (expected one of: %s)" name
+                (String.concat ", " policy_names)))
+  in
+  Arg.conv ~docv:"POLICY"
+    (parse, fun fmt p -> Format.pp_print_string fmt p.Stob_core.Policy.name)
+
 let policy_arg =
   let doc =
     Printf.sprintf "Server-side Stob policy: one of %s." (String.concat ", " policy_names)
   in
-  Arg.(value & opt string "unmodified" & info [ "policy" ] ~docv:"POLICY" ~doc)
-
-let resolve_policy name =
-  match List.assoc_opt name (Stob_core.Strategies.all_named ()) with
-  | Some p -> p
-  | None ->
-      Printf.eprintf "unknown policy %s (try one of: %s)\n" name (String.concat ", " policy_names);
-      exit 2
+  Arg.(value & opt policy_conv Stob_core.Policy.unmodified & info [ "policy" ] ~docv:"POLICY" ~doc)
 
 (* --- gen-dataset ------------------------------------------------------ *)
 
 let gen_dataset out samples seed policy jobs =
-  let policy = resolve_policy policy in
   Printf.printf "generating %d samples/site for %d sites...\n%!" samples
     (List.length Stob_web.Sites.all);
   let dataset =
@@ -95,13 +162,12 @@ let gen_dataset_cmd =
     Arg.(value & opt string "dataset" & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.")
   in
   Cmd.v
-    (Cmd.info "gen-dataset" ~doc:"Generate and sanitize a page-load trace corpus")
+    (cmd_info "gen-dataset" ~doc:"Generate and sanitize a page-load trace corpus")
     Term.(const gen_dataset $ out $ samples $ seed $ policy_arg $ jobs)
 
 (* --- attack ----------------------------------------------------------- *)
 
 let attack samples folds trees seed policy transport jobs =
-  let policy = resolve_policy policy in
   Printf.printf "corpus: %d samples/site, policy %s, transport %s\n%!" samples
     policy.Stob_core.Policy.name
     (match transport with `Tcp -> "tcp" | `Quic -> "quic");
@@ -115,7 +181,7 @@ let attack samples folds trees seed policy transport jobs =
 
 let attack_cmd =
   Cmd.v
-    (Cmd.info "attack" ~doc:"Run the k-FP closed-world attack against a (possibly defended) corpus")
+    (cmd_info "attack" ~doc:"Run the k-FP closed-world attack against a (possibly defended) corpus")
     Term.(const attack $ samples $ folds $ trees $ seed $ policy_arg $ transport_arg $ jobs)
 
 (* --- load ------------------------------------------------------------- *)
@@ -138,15 +204,7 @@ let sparkline trace dir ~buckets =
       let level = int_of_float (acc.(i) /. peak *. 7.0) in
       glyphs.(max 0 (min 7 level)))
 
-let load_one site seed policy =
-  let policy = resolve_policy policy in
-  let profile =
-    try Stob_web.Sites.find site
-    with Not_found ->
-      Printf.eprintf "unknown site %s (known: %s)\n" site
-        (String.concat ", " Stob_web.Sites.names);
-      exit 2
-  in
+let load_one (site, profile) seed policy =
   let rng = Stob_util.Rng.create seed in
   let r = Stob_web.Browser.load ~policy ~rng profile in
   Printf.printf "site: %s  policy: %s\n" site policy.Stob_core.Policy.name;
@@ -159,7 +217,7 @@ let load_one site seed policy =
 
 let load_cmd =
   Cmd.v
-    (Cmd.info "load" ~doc:"Run one page load through the simulated stack and summarize its trace")
+    (cmd_info "load" ~doc:"Run one page load through the simulated stack and summarize its trace")
     Term.(const load_one $ site $ seed $ policy_arg)
 
 (* --- policies --------------------------------------------------------- *)
@@ -171,7 +229,7 @@ let policies () =
     (Stob_core.Strategies.all_named ())
 
 let policies_cmd =
-  Cmd.v (Cmd.info "policies" ~doc:"List the built-in obfuscation policies")
+  Cmd.v (cmd_info "policies" ~doc:"List the built-in obfuscation policies")
     Term.(const policies $ const ())
 
 (* --- experiment wrappers ---------------------------------------------- *)
@@ -179,7 +237,7 @@ let policies_cmd =
 let table1 () = Table1.print (Table1.run ())
 
 let table1_cmd =
-  Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1 (defense taxonomy + measured overheads)")
+  Cmd.v (cmd_info "table1" ~doc:"Reproduce Table 1 (defense taxonomy + measured overheads)")
     Term.(const table1 $ const ())
 
 let table2 samples folds trees seed jobs =
@@ -187,13 +245,13 @@ let table2 samples folds trees seed jobs =
   with_jobs jobs (fun pool -> Table2.print (Table2.run ~config ?pool ()))
 
 let table2_cmd =
-  Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table 2 (k-FP accuracy under countermeasures)")
+  Cmd.v (cmd_info "table2" ~doc:"Reproduce Table 2 (k-FP accuracy under countermeasures)")
     Term.(const table2 $ samples $ folds $ trees $ seed $ jobs)
 
 let fig3 jobs = with_jobs jobs (fun pool -> Fig3.print (Fig3.run ?pool ()))
 
 let fig3_cmd =
-  Cmd.v (Cmd.info "fig3" ~doc:"Reproduce Figure 3 (throughput under packet/TSO adjustment)")
+  Cmd.v (cmd_info "fig3" ~doc:"Reproduce Figure 3 (throughput under packet/TSO adjustment)")
     Term.(const fig3 $ jobs)
 
 let arch () =
@@ -202,7 +260,7 @@ let arch () =
   Arch.print_figure2 ()
 
 let arch_cmd =
-  Cmd.v (Cmd.info "arch" ~doc:"Render Figures 1 and 2 (stack model and Stob architecture)")
+  Cmd.v (cmd_info "arch" ~doc:"Render Figures 1 and 2 (stack model and Stob architecture)")
     Term.(const arch $ const ())
 
 let ablation_stack samples trees =
@@ -212,7 +270,7 @@ let ablation_stack_cmd =
   let samples =
     Arg.(value & opt int 40 & info [ "samples" ] ~docv:"N" ~doc:"Samples per site.")
   in
-  Cmd.v (Cmd.info "ablation-stack" ~doc:"E6: emulated vs. in-stack enforcement")
+  Cmd.v (cmd_info "ablation-stack" ~doc:"E6: emulated vs. in-stack enforcement")
     Term.(const ablation_stack $ samples $ trees)
 
 let ablation_cca () = Ablation.print_cca (Ablation.run_cca ())
@@ -224,11 +282,11 @@ let ablation_quic_cmd =
   let samples =
     Arg.(value & opt int 40 & info [ "samples" ] ~docv:"N" ~doc:"Samples per site.")
   in
-  Cmd.v (Cmd.info "ablation-quic" ~doc:"E8b: TCP vs QUIC fingerprintability")
+  Cmd.v (cmd_info "ablation-quic" ~doc:"E8b: TCP vs QUIC fingerprintability")
     Term.(const ablation_quic $ samples $ trees)
 
 let ablation_cca_cmd =
-  Cmd.v (Cmd.info "ablation-cca" ~doc:"E7: CCA interplay and the safety audit")
+  Cmd.v (cmd_info "ablation-cca" ~doc:"E7: CCA interplay and the safety audit")
     Term.(const ablation_cca $ const ())
 
 let openworld samples trees =
@@ -239,7 +297,7 @@ let openworld_cmd =
     Arg.(value & opt int 30 & info [ "samples" ] ~docv:"N" ~doc:"Samples per monitored site.")
   in
   Cmd.v
-    (Cmd.info "openworld" ~doc:"Open-world k-FP evaluation against unseen background sites")
+    (cmd_info "openworld" ~doc:"Open-world k-FP evaluation against unseen background sites")
     Term.(const openworld $ samples $ trees)
 
 let cca_id flows trees =
@@ -247,7 +305,7 @@ let cca_id flows trees =
 
 let cca_id_cmd =
   let flows = Arg.(value & opt int 40 & info [ "flows" ] ~docv:"N" ~doc:"Flows per CCA.") in
-  Cmd.v (Cmd.info "cca-id" ~doc:"Passive CCA identification and Stob hiding (Section 5.2)")
+  Cmd.v (cmd_info "cca-id" ~doc:"Passive CCA identification and Stob hiding (Section 5.2)")
     Term.(const cca_id $ flows $ trees)
 
 let httpos samples trees =
@@ -258,30 +316,13 @@ let httpos_cmd =
     Arg.(value & opt int 30 & info [ "samples" ] ~docv:"N" ~doc:"Samples per site.")
   in
   Cmd.v
-    (Cmd.info "httpos" ~doc:"HTTPOS-style client-side defense: protection vs load-time cost")
+    (cmd_info "httpos" ~doc:"HTTPOS-style client-side defense: protection vs load-time cost")
     Term.(const httpos $ samples $ trees)
 
 (* --- netem ------------------------------------------------------------ *)
 
-let netem loss reorder dup jitter netem_seed cca rate delay bytes jobs =
+let netem loss reorder dup jitter netem_seed ccas rate delay bytes jobs =
   let module NE = Stob_tcp.Netem_eval in
-  let bad_arg msg =
-    prerr_endline ("stobctl netem: " ^ msg);
-    exit 2
-  in
-  if not (loss >= 0.0 && loss <= 1.0) then bad_arg "--loss must be a probability in [0, 1]";
-  if not (dup >= 0.0 && dup <= 1.0) then bad_arg "--dup must be a probability in [0, 1]";
-  if jitter < 0.0 then bad_arg "--jitter must be non-negative";
-  if rate <= 0.0 || delay <= 0.0 || bytes <= 0 then
-    bad_arg "--rate, --delay and --bytes must be positive";
-  let ccas =
-    match cca with
-    | "all" -> [ "reno"; "cubic"; "bbr" ]
-    | c ->
-        (* Validate the name up front; unknown CCAs raise Invalid_argument. *)
-        let (_ : Stob_tcp.Cc.factory) = NE.cc_of_name c in
-        [ c ]
-  in
   let cells = List.map (fun cca -> { NE.cca; loss; reorder }) ccas in
   Printf.printf
     "netem: loss=%g reorder=%b dup=%g jitter=%g s  path %.0f Mb/s / %.0f ms  response %d B  seed \
@@ -306,44 +347,121 @@ let netem loss reorder dup jitter netem_seed cca rate delay bytes jobs =
   end;
   Printf.printf "\nall %d cells converged\n" (List.length results)
 
+(* "all" or one validated CCA name, resolved to the list of cells to run. *)
+let cca_conv =
+  let parse = function
+    | "all" -> Ok [ "reno"; "cubic"; "bbr" ]
+    | c -> (
+        match Stob_tcp.Netem_eval.cc_of_name c with
+        | (_ : Stob_tcp.Cc.factory) -> Ok [ c ]
+        | exception Invalid_argument _ ->
+            Error (`Msg (Printf.sprintf "unknown CCA %s (expected reno, cubic, bbr or all)" c)))
+  in
+  let print fmt = function
+    | [ c ] -> Format.pp_print_string fmt c
+    | _ -> Format.pp_print_string fmt "all"
+  in
+  Arg.conv ~docv:"CCA" (parse, print)
+
 let netem_cmd =
   let loss =
-    Arg.(value & opt float 0.01
+    Arg.(value & opt prob_conv 0.01
          & info [ "loss" ] ~docv:"P" ~doc:"I.i.d. per-packet loss probability, both directions.")
   in
   let reorder =
     Arg.(value & flag & info [ "reorder" ] ~doc:"Also hold ~5% of packets back a few slots.")
   in
   let dup =
-    Arg.(value & opt float 0.0 & info [ "dup" ] ~docv:"P" ~doc:"Duplication probability.")
+    Arg.(value & opt prob_conv 0.0 & info [ "dup" ] ~docv:"P" ~doc:"Duplication probability.")
   in
   let jitter =
-    Arg.(value & opt float 0.0 & info [ "jitter" ] ~docv:"SEC" ~doc:"Uniform extra delay bound.")
+    Arg.(value & opt (nonneg_float_conv ~docv:"SEC") 0.0
+         & info [ "jitter" ] ~docv:"SEC" ~doc:"Uniform extra delay bound.")
   in
   let netem_seed =
     Arg.(value & opt int 4242
          & info [ "netem-seed" ] ~docv:"SEED" ~doc:"Master seed for the impairment draws.")
   in
   let cca =
-    Arg.(value & opt string "all"
+    Arg.(value & opt cca_conv [ "reno"; "cubic"; "bbr" ]
          & info [ "cca" ] ~docv:"CCA" ~doc:"Congestion control: reno, cubic, bbr or all.")
   in
   let rate =
-    Arg.(value & opt float 20e6 & info [ "rate" ] ~docv:"BPS" ~doc:"Bottleneck rate, bits/s.")
+    Arg.(value & opt (pos_float_conv ~docv:"BPS") 20e6
+         & info [ "rate" ] ~docv:"BPS" ~doc:"Bottleneck rate, bits/s.")
   in
   let delay =
-    Arg.(value & opt float 0.015 & info [ "delay" ] ~docv:"SEC" ~doc:"One-way propagation delay.")
+    Arg.(value & opt (pos_float_conv ~docv:"SEC") 0.015
+         & info [ "delay" ] ~docv:"SEC" ~doc:"One-way propagation delay.")
   in
   let bytes =
-    Arg.(value & opt int 150_000 & info [ "bytes" ] ~docv:"N" ~doc:"Response size to transfer.")
+    Arg.(value & opt (pos_int_conv ~docv:"N") 150_000
+         & info [ "bytes" ] ~docv:"N" ~doc:"Response size to transfer.")
   in
   Cmd.v
-    (Cmd.info "netem"
+    (cmd_info "netem"
        ~doc:
          "Drive one request/response/close connection per CCA through seeded netem-style \
           impairment (loss, reordering, duplication, jitter) and report recovery counters")
     Term.(
       const netem $ loss $ reorder $ dup $ jitter $ netem_seed $ cca $ rate $ delay $ bytes $ jobs)
+
+(* --- chaos ------------------------------------------------------------ *)
+
+let chaos smoke chaos_seed shrink jobs =
+  let module C = Stob_check.Chaos in
+  let scenarios = if smoke then C.smoke_scenarios () else C.default_scenarios () in
+  let reports = with_jobs jobs (fun pool -> C.run_sweep ?pool ~seed:chaos_seed scenarios) in
+  C.print_sweep reports;
+  (* Same two gates as `bench/main.exe chaos`: every cell survives its page
+     load, and cells with no fault injected are violation-free. *)
+  let gate (r : C.report) =
+    C.survived r && (r.C.scenario.C.fault <> None || C.clean r)
+  in
+  let failing = List.filter (fun r -> not (gate r)) reports in
+  match failing with
+  | [] ->
+      Printf.printf "\nchaos: all gates passed (%d cells, seed %d)\n" (List.length reports)
+        chaos_seed
+  | fs ->
+      List.iter
+        (fun (r : C.report) ->
+          Printf.printf "\nchaos FAILURE: %s (cell seed %d)\n" (C.scenario_name r.C.scenario)
+            r.C.seed;
+          if shrink then
+            match C.shrink ~failed:(fun r' -> not (gate r')) ~seed:r.C.seed r.C.scenario with
+            | None ->
+                Printf.printf "  not reproducible from the fault plan alone (full replay passes)\n"
+            | Some (k, prefix, _) ->
+                Printf.printf "  minimal failing fault prefix: %d event(s)\n" k;
+                List.iter (fun ev -> Format.printf "    %a@." Stob_sim.Fault.pp_event ev) prefix)
+        fs;
+      exit 1
+
+let chaos_cmd =
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ] ~doc:"Run the bounded smoke sweep instead of the full battery.")
+  in
+  let chaos_seed =
+    Arg.(value & opt int 1337
+         & info [ "chaos-seed" ] ~docv:"SEED"
+             ~doc:"Master seed for the sweep; per-cell seeds are pre-split from it, so reports \
+                   are identical at every $(b,--jobs) level.")
+  in
+  let shrink =
+    Arg.(value & flag
+         & info [ "shrink" ]
+             ~doc:"On failure, shrink each failing cell to the minimal prefix of its \
+                   time-sorted fault plan that still fails, and print it.")
+  in
+  Cmd.v
+    (cmd_info "chaos"
+       ~doc:
+         "Run the chaos battery: seeded fault injection against monitored, \
+          degradation-enabled page loads.  Gates: every cell survives (completes without \
+          crash or livelock) and no-fault cells report zero invariant violations.")
+    Term.(const chaos $ smoke $ chaos_seed $ shrink $ jobs)
 
 let importance samples trees =
   Importance.print (Importance.run ~samples_per_site:samples ~trees ())
@@ -352,16 +470,16 @@ let importance_cmd =
   let samples =
     Arg.(value & opt int 30 & info [ "samples" ] ~docv:"N" ~doc:"Samples per site.")
   in
-  Cmd.v (Cmd.info "importance" ~doc:"Feature importance before/after defense")
+  Cmd.v (cmd_info "importance" ~doc:"Feature importance before/after defense")
     Term.(const importance $ samples $ trees)
 
 let main_cmd =
   let doc = "stack-level traffic obfuscation (Stob) reproduction toolkit" in
-  Cmd.group (Cmd.info "stobctl" ~version:"1.0.0" ~doc)
+  Cmd.group (Cmd.info "stobctl" ~version:"1.0.0" ~doc ~exits)
     [
       gen_dataset_cmd; attack_cmd; load_cmd; policies_cmd; table1_cmd; table2_cmd; fig3_cmd;
       arch_cmd; ablation_stack_cmd; ablation_cca_cmd; ablation_quic_cmd; openworld_cmd;
-      cca_id_cmd; httpos_cmd; importance_cmd; netem_cmd;
+      cca_id_cmd; httpos_cmd; importance_cmd; netem_cmd; chaos_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,241 @@
+module Engine = Stob_sim.Engine
+module Cpu = Stob_sim.Cpu
+module Endpoint = Stob_tcp.Endpoint
+module Hooks = Stob_tcp.Hooks
+module Qdisc = Stob_tcp.Qdisc
+module Config = Stob_tcp.Config
+module Capture = Stob_net.Capture
+module Safety = Stob_core.Safety
+
+type mode = Raise | Collect
+
+(* A registered invariant: [check ~now] returns [Some detail] while the
+   invariant is violated.  Checks are edge-triggered — a violation is
+   recorded when the invariant transitions from holding to failing, not on
+   every event while it keeps failing — so a single broken component does
+   not flood the report. *)
+type watch = { w_name : string; w_flow : int option; check : now:float -> string option; mutable failing : bool }
+
+type t = {
+  engine : Engine.t;
+  mode : mode;
+  max_stored : int;
+  mutable stored : Violation.t list;  (* newest first *)
+  mutable total : int;
+  counts : (string, int) Hashtbl.t;
+  mutable watches : watch list;  (* registration order preserved via rev *)
+  mutable last_now : float;
+  mutable attached : bool;
+}
+
+let create ?(mode = Collect) ?(max_stored = 200) engine =
+  if max_stored < 1 then invalid_arg "Monitor.create: max_stored must be >= 1";
+  {
+    engine;
+    mode;
+    max_stored;
+    stored = [];
+    total = 0;
+    counts = Hashtbl.create 16;
+    watches = [];
+    last_now = Engine.now engine;
+    attached = false;
+  }
+
+let mode t = t.mode
+let total t = t.total
+
+let record t v =
+  t.total <- t.total + 1;
+  Hashtbl.replace t.counts v.Violation.invariant
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts v.Violation.invariant));
+  if List.length t.stored < t.max_stored then t.stored <- v :: t.stored;
+  match t.mode with Raise -> raise (Violation.Violated v) | Collect -> ()
+
+let violations t = List.rev t.stored
+
+let counts t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let register t ~name ?flow check =
+  t.watches <- { w_name = name; w_flow = flow; check; failing = false } :: t.watches
+
+let run_watch t ~now w =
+  match w.check ~now with
+  | None -> w.failing <- false
+  | Some detail ->
+      if not w.failing then begin
+        w.failing <- true;
+        record t (Violation.make ~invariant:w.w_name ~time:now ?flow:w.w_flow detail)
+      end
+
+let check_now t ~now = List.iter (run_watch t ~now) (List.rev t.watches)
+
+(* ------------------------------------------------------------------ *)
+(* Engine probe: clock sanity plus all registered watches.              *)
+
+let attach_engine t =
+  if t.attached then invalid_arg "Monitor.attach_engine: already attached";
+  t.attached <- true;
+  t.last_now <- Engine.now t.engine;
+  Engine.set_probe t.engine (fun ~now ->
+      if now < t.last_now then
+        record t
+          (Violation.make ~invariant:"engine-clock-monotone" ~time:now
+             (Printf.sprintf "clock moved backwards: %.9f -> %.9f" t.last_now now));
+      t.last_now <- Float.max t.last_now now;
+      check_now t ~now)
+
+let detach_engine t =
+  if t.attached then begin
+    t.attached <- false;
+    Engine.clear_probe t.engine
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Component watches.                                                   *)
+
+let watch_qdisc t ~name q =
+  register t ~name:"qdisc-backlog-bound" (fun ~now:_ ->
+      let backlog = Qdisc.backlog_bytes q and limit = Qdisc.limit_bytes q in
+      if backlog > limit then
+        Some (Printf.sprintf "%s: backlog %d B exceeds limit %d B" name backlog limit)
+      else None)
+
+let watch_cpu t ?(backlog_bound = 0.5) ~name cpu =
+  if backlog_bound <= 0.0 then invalid_arg "Monitor.watch_cpu: backlog_bound must be positive";
+  register t ~name:"cpu-backlog-bound" (fun ~now ->
+      let lead = Cpu.busy_until cpu -. now in
+      if lead > backlog_bound then
+        Some
+          (Printf.sprintf "%s: core booked %.4f s ahead (bound %.4f s, queue depth %d)" name lead
+             backlog_bound (Cpu.queue_depth cpu))
+      else None)
+
+(* Progress watch.  The check must fire even though the stalled period
+   itself contains no events (the probe only runs on events): at each
+   event we first ask whether the gap since the last activity change
+   exceeds the bound *while work was pending*, and only then credit any
+   new activity.  Otherwise the event that ends a stall would also hide
+   it. *)
+let watch_progress t ?(stall = 1.0) ~name ~pending ~activity () =
+  if stall <= 0.0 then invalid_arg "Monitor.watch_progress: stall must be positive";
+  let last_activity = ref (activity ()) in
+  let last_change = ref (Engine.now t.engine) in
+  let was_pending = ref (pending ()) in
+  register t ~name:"progress-stall" (fun ~now ->
+      let a = activity () in
+      let stalled = !was_pending && now -. !last_change > stall in
+      let detail =
+        if stalled then
+          Some
+            (Printf.sprintf "%s: no progress for %.4f s (bound %.4f s) with work pending" name
+               (now -. !last_change) stall)
+        else None
+      in
+      if a <> !last_activity then begin
+        last_activity := a;
+        last_change := now
+      end;
+      was_pending := pending ();
+      detail)
+
+(* ------------------------------------------------------------------ *)
+(* Endpoint invariants, checked at the hook boundary.                   *)
+
+let check_inspection ~config (i : Endpoint.inspection) =
+  if i.Endpoint.snd_una > i.snd_nxt then
+    Some
+      ( "tcp-seq-order",
+        Printf.sprintf "snd_una %d > snd_nxt %d (inflight %d)" i.snd_una i.snd_nxt i.inflight )
+  else if i.cwnd < 1 then Some ("tcp-cwnd-bounds", Printf.sprintf "cwnd %d < 1" i.cwnd)
+  else if
+    i.cwnd > max config.Config.snd_buf config.Config.rcv_wnd
+  then
+    Some
+      ( "tcp-cwnd-bounds",
+        Printf.sprintf "cwnd %d exceeds buffer bound %d" i.cwnd
+          (max config.Config.snd_buf config.Config.rcv_wnd) )
+  else if i.in_stack < 0 then Some ("tcp-tsq-accounting", Printf.sprintf "in_stack %d < 0" i.in_stack)
+  else if i.app_queue < 0 then
+    Some ("tcp-app-queue", Printf.sprintf "app_queue %d < 0" i.app_queue)
+  else begin
+    (* SACK sanity: sorted, disjoint, non-empty blocks inside (snd_una, snd_nxt]. *)
+    let rec sack_bad prev_hi = function
+      | [] -> None
+      | (lo, hi) :: rest ->
+          if hi <= lo then Some (Printf.sprintf "empty SACK block [%d, %d)" lo hi)
+          else if lo < prev_hi then
+            Some (Printf.sprintf "overlapping/unsorted SACK block [%d, %d) after hi %d" lo hi prev_hi)
+          else if lo < i.snd_una || hi > i.snd_nxt then
+            Some
+              (Printf.sprintf "SACK block [%d, %d) outside [snd_una %d, snd_nxt %d]" lo hi i.snd_una
+                 i.snd_nxt)
+          else sack_bad hi rest
+    in
+    match sack_bad i.snd_una i.sacked with
+    | Some d -> Some ("tcp-sack-sanity", d)
+    | None ->
+        if i.in_recovery && (i.rtx_next < i.snd_una - 1 || i.recover_point > i.snd_nxt) then
+          Some
+            ( "tcp-recovery-window",
+              Printf.sprintf "rtx_next %d / recover_point %d outside [snd_una %d, snd_nxt %d]"
+                i.rtx_next i.recover_point i.snd_una i.snd_nxt )
+        else None
+  end
+
+(* Wrap an endpoint's installed hook chain with observe-only checks:
+   endpoint-state invariants before the decision, pacing-horizon
+   monotonicity across decisions, and the Section 4.2 safety predicate on
+   whatever the chain answers.  Exceptions from the chain pass through
+   untouched — whether a fault escapes or is absorbed is the degradation
+   ladder's business, not the monitor's. *)
+let observe_endpoint t ~name ep =
+  let config = Endpoint.config ep in
+  let inner = Endpoint.hooks ep in
+  let last_horizon = ref neg_infinity in
+  let on_segment ~now ~flow ~phase (d : Hooks.decision) =
+    let i = Endpoint.inspect ep in
+    (match check_inspection ~config i with
+    | Some (invariant, detail) ->
+        record t (Violation.make ~invariant ~time:now ~flow (name ^ ": " ^ detail))
+    | None -> ());
+    if i.Endpoint.pacer_next_free < !last_horizon then
+      record t
+        (Violation.make ~invariant:"tcp-pacing-monotone" ~time:now ~flow
+           (Printf.sprintf "%s: pacing horizon moved backwards: %.9f -> %.9f" name !last_horizon
+              i.Endpoint.pacer_next_free));
+    last_horizon := Float.max !last_horizon i.Endpoint.pacer_next_free;
+    if d.Hooks.earliest_departure < now -. 1e-9 then
+      record t
+        (Violation.make ~invariant:"tcp-stack-departure" ~time:now ~flow
+           (Printf.sprintf "%s: stack proposed departure %.9f in the past (now %.9f)" name
+              d.Hooks.earliest_departure now));
+    let result = inner.Hooks.on_segment ~now ~flow ~phase d in
+    if not (Safety.is_safe ~stack:d result) then
+      record t
+        (Violation.make ~invariant:"defense-safety" ~time:now ~flow
+           (Printf.sprintf
+              "%s: hook answer (tso %d, payload %d, dep %.9f) more aggressive than stack (tso %d, \
+               payload %d, dep %.9f)"
+              name result.Hooks.tso_bytes result.Hooks.packet_payload
+              result.Hooks.earliest_departure d.Hooks.tso_bytes d.Hooks.packet_payload
+              d.Hooks.earliest_departure));
+    result
+  in
+  Endpoint.set_hooks ep { Hooks.on_segment }
+
+(* ------------------------------------------------------------------ *)
+(* End-of-run oracle checks.                                            *)
+
+let check_rtx_oracle t ~capture ~endpoints ~drops ~drained =
+  if drops = 0 && drained then begin
+    let counted = List.fold_left (fun acc ep -> acc + Endpoint.retransmissions ep) 0 endpoints in
+    let captured = Capture.rtx_count capture in
+    if counted <> captured then
+      record t
+        (Violation.make ~invariant:"rtx-oracle-agreement" ~time:(Engine.now t.engine)
+           (Printf.sprintf "endpoints count %d retransmissions, capture saw %d marked packets"
+              counted captured))
+  end

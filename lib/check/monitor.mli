@@ -1,0 +1,130 @@
+(** Always-on runtime invariant monitor.
+
+    The monitor hangs observe-only checks off the simulation's natural
+    boundaries — the engine's per-event probe ({!Stob_sim.Engine.set_probe})
+    and the endpoint's per-segment hook ({!Stob_tcp.Hooks}) — and turns
+    failures into structured {!Violation.t} values.  In [Raise] mode the
+    first violation aborts the run at its detection point (what the test
+    battery wants); in [Collect] mode violations accumulate for a post-run
+    report (what the chaos sweep wants).
+
+    The monitor never changes behaviour: checks read state, wrap hooks
+    transparently, and draw no randomness, so a monitored run is
+    byte-identical to an unmonitored one.
+
+    {b Invariant catalogue} (names as they appear in reports):
+    - [engine-clock-monotone] — the virtual clock never moves backwards.
+    - [qdisc-backlog-bound] — qdisc backlog within its admission limit
+      (trips when {!Stob_sim.Fault.Qdisc_collapse} strands a backlog).
+    - [cpu-backlog-bound] — the CPU core is never booked more than a bound
+      ahead of the clock (trips under {!Stob_sim.Fault.Cpu_overload}).
+    - [progress-stall] — while work is pending, observable activity changes
+      at least once per stall bound (trips under
+      {!Stob_sim.Fault.Pacer_jump}).
+    - [tcp-seq-order] — [snd_una <= snd_nxt].
+    - [tcp-cwnd-bounds] — cwnd within [[1, max snd_buf rcv_wnd]].
+    - [tcp-sack-sanity] — SACK scoreboard sorted, disjoint, non-empty, and
+      inside [(snd_una, snd_nxt]].
+    - [tcp-recovery-window] — recovery bookkeeping within the outstanding
+      window.
+    - [tcp-tsq-accounting], [tcp-app-queue] — byte accounting never
+      negative.
+    - [tcp-pacing-monotone] — the booked fq horizon never moves backwards.
+    - [tcp-stack-departure] — the stack never proposes a departure in the
+      past.
+    - [defense-safety] — {!Stob_core.Safety.is_safe} holds for every hook
+      answer (Section 4.2 promoted to a monitored invariant).
+    - [rtx-oracle-agreement] — endpoint retransmission counters agree with
+      the capture's {!Stob_net.Packet.t}[.rtx] oracle marks (loss-free,
+      drained runs only).
+    - [engine-livelock] is reported by the chaos harness when
+      {!Stob_sim.Engine.Livelock} fires; the engine cannot depend on this
+      library, so it raises its own exception and the harness translates. *)
+
+type mode =
+  | Raise  (** Raise {!Violation.Violated} at the detection point. *)
+  | Collect  (** Accumulate; read {!violations} after the run. *)
+
+type t
+
+val create : ?mode:mode -> ?max_stored:int -> Stob_sim.Engine.t -> t
+(** Fresh monitor bound to an engine's clock.  [mode] defaults to
+    [Collect]; at most [max_stored] violations are kept (default 200) while
+    {!total} keeps counting past the cap.  Raises [Invalid_argument] when
+    [max_stored < 1]. *)
+
+val mode : t -> mode
+
+val record : t -> Violation.t -> unit
+(** Count (and in [Raise] mode, raise) a violation detected externally —
+    the chaos harness feeds {!Stob_sim.Engine.Livelock} through this. *)
+
+val violations : t -> Violation.t list
+(** Stored violations, oldest first. *)
+
+val total : t -> int
+(** All violations counted, including any beyond the storage cap. *)
+
+val counts : t -> (string * int) list
+(** Per-invariant totals, sorted by invariant name (stable across runs —
+    the chaos determinism tests compare these). *)
+
+(** {1 Registration} *)
+
+val register : t -> name:string -> ?flow:int -> (now:float -> string option) -> unit
+(** Install a custom invariant: the callback returns [Some detail] while
+    the invariant fails.  Checks are {e edge-triggered}: a violation is
+    recorded when the check transitions from passing to failing, so a
+    persistently broken component yields one violation per episode, not one
+    per event. *)
+
+val attach_engine : t -> unit
+(** Install the engine probe: after every executed event, verify clock
+    monotonicity and run all registered checks.  One monitor per engine;
+    raises [Invalid_argument] on a second attach. *)
+
+val detach_engine : t -> unit
+
+val check_now : t -> now:float -> unit
+(** Run all registered checks immediately (e.g. after {!Stob_sim.Engine.run}
+    returns, to catch state the final event left broken). *)
+
+val watch_qdisc : t -> name:string -> 'a Stob_tcp.Qdisc.t -> unit
+(** Register [qdisc-backlog-bound] over the given qdisc. *)
+
+val watch_cpu : t -> ?backlog_bound:float -> name:string -> Stob_sim.Cpu.t -> unit
+(** Register [cpu-backlog-bound]: the core may never be booked more than
+    [backlog_bound] seconds (default 0.5) beyond the current virtual time. *)
+
+val watch_progress :
+  t -> ?stall:float -> name:string -> pending:(unit -> bool) -> activity:(unit -> int) -> unit -> unit
+(** Register [progress-stall]: while [pending ()] holds, [activity ()] must
+    change at least once per [stall] seconds (default 1.0) of virtual time.
+    This is how pacer-clock faults surface: at the hook boundary the
+    stack's departure always equals [now] (the endpoint waits out its own
+    pacing before consulting the hook), so a parked pacing clock manifests
+    as silence, not as a visible bad departure. *)
+
+(** {1 Endpoint observation} *)
+
+val observe_endpoint : t -> name:string -> Stob_tcp.Endpoint.t -> unit
+(** Wrap the endpoint's {e currently installed} hook chain with observe-only
+    checks (state invariants, pacing monotonicity, the [defense-safety]
+    predicate on the chain's answer).  Install the full chain (controller,
+    fault wrapper, degradation guard) {e first}, then observe.  Exceptions
+    from the chain pass through untouched. *)
+
+(** {1 End-of-run checks} *)
+
+val check_rtx_oracle :
+  t ->
+  capture:Stob_net.Capture.t ->
+  endpoints:Stob_tcp.Endpoint.t list ->
+  drops:int ->
+  drained:bool ->
+  unit
+(** Record [rtx-oracle-agreement] if the endpoints' retransmission counters
+    disagree with the capture's oracle-marked packet count.  Only checked
+    when [drops = 0] and [drained] — the capture taps the link at
+    transmit start, after bottleneck-queue drops, so the counts are only
+    comparable on loss-free, fully drained runs. *)

@@ -116,3 +116,172 @@ let stats t =
   { segments = t.segments; modified = t.modified; added_delay = t.added_delay; stood_down = t.stood_down }
 
 let policy t = t.policy
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation: the fallback ladder and its circuit breaker.    *)
+
+type rung = Full_policy | Clamp_only | Passthrough
+
+let rung_name = function
+  | Full_policy -> "full-policy"
+  | Clamp_only -> "clamp-only"
+  | Passthrough -> "passthrough"
+
+type breaker = { trip_failures : int; window : float; stall_budget : float }
+
+let default_breaker = { trip_failures = 3; window = 1.0; stall_budget = 0.05 }
+
+type degradation_report = {
+  rung : rung;
+  decisions : int;
+  full_policy_decisions : int;
+  clamp_only_decisions : int;
+  passthrough_decisions : int;
+  hook_exceptions : int;
+  injected_faults : int;
+  stalls : int;
+  fallbacks : int;
+  unsafe_proposals : int;
+  trips : (float * rung) list;
+}
+
+type guard_state = {
+  breaker : breaker;
+  latency : (now:float -> float) option;
+  mutable g_rung : rung;
+  mutable failures : float list;  (* newest first, within the sliding window *)
+  mutable g_decisions : int;
+  mutable g_full : int;
+  mutable g_clamp : int;
+  mutable g_pass : int;
+  mutable g_exceptions : int;
+  mutable g_injected : int;
+  mutable g_stalls : int;
+  mutable g_fallbacks : int;
+  mutable g_unsafe : int;
+  mutable g_trips : (float * rung) list;  (* newest first *)
+}
+
+let next_rung = function
+  | Full_policy -> Clamp_only
+  | Clamp_only | Passthrough -> Passthrough
+
+(* Record one failure at [now]; trip to the next rung when the sliding
+   window fills.  Tripping clears the window so each rung gets a fresh
+   chance before the breaker escalates again. *)
+let record_failure g ~now =
+  g.failures <- now :: List.filter (fun t -> now -. t <= g.breaker.window) g.failures;
+  if List.length g.failures >= g.breaker.trip_failures && g.g_rung <> Passthrough then begin
+    g.g_rung <- next_rung g.g_rung;
+    g.g_trips <- (now, g.g_rung) :: g.g_trips;
+    g.failures <- []
+  end
+
+let guard ?(breaker = default_breaker) ?latency hooks =
+  if breaker.trip_failures < 1 then invalid_arg "Controller.guard: trip_failures must be >= 1";
+  if breaker.window <= 0.0 then invalid_arg "Controller.guard: window must be positive";
+  if breaker.stall_budget < 0.0 then invalid_arg "Controller.guard: negative stall_budget";
+  let g =
+    {
+      breaker;
+      latency;
+      g_rung = Full_policy;
+      failures = [];
+      g_decisions = 0;
+      g_full = 0;
+      g_clamp = 0;
+      g_pass = 0;
+      g_exceptions = 0;
+      g_injected = 0;
+      g_stalls = 0;
+      g_fallbacks = 0;
+      g_unsafe = 0;
+      g_trips = [];
+    }
+  in
+  let on_segment ~now ~flow ~phase (d : Hooks.decision) =
+    g.g_decisions <- g.g_decisions + 1;
+    match g.g_rung with
+    | Passthrough ->
+        (* Defense off: the hook is not even consulted. *)
+        g.g_pass <- g.g_pass + 1;
+        d
+    | rung -> (
+        (match rung with
+        | Full_policy -> g.g_full <- g.g_full + 1
+        | _ -> g.g_clamp <- g.g_clamp + 1);
+        (* The stall budget models a watchdog on hook compute time: a
+           consultation that would blow the budget is killed (the stack
+           decision ships unmodified) and counts toward the breaker. *)
+        let lat = match g.latency with None -> 0.0 | Some f -> f ~now in
+        if lat > g.breaker.stall_budget then begin
+          g.g_stalls <- g.g_stalls + 1;
+          g.g_fallbacks <- g.g_fallbacks + 1;
+          record_failure g ~now;
+          d
+        end
+        else
+          match hooks.Hooks.on_segment ~now ~flow ~phase d with
+          | proposed ->
+              if not (Safety.is_safe ~stack:d proposed) then begin
+                (* The clamp corrects it below, but a policy that has to be
+                   corrected is misbehaving: feed the breaker. *)
+                g.g_unsafe <- g.g_unsafe + 1;
+                record_failure g ~now
+              end;
+              let clamped = Hooks.clamp ~stack:d proposed in
+              let result =
+                match rung with
+                | Full_policy ->
+                    (* Hook compute time delays the departure — the safe
+                       direction; never an earlier release. *)
+                    if lat > 0.0 then
+                      { clamped with Hooks.earliest_departure = clamped.Hooks.earliest_departure +. lat }
+                    else clamped
+                | Clamp_only | Passthrough ->
+                    (* Clamp-only rung: size decisions survive, the timing
+                       proposal is discarded (timing faults were what
+                       tripped us off the full-policy rung). *)
+                    { clamped with Hooks.earliest_departure = d.Hooks.earliest_departure }
+              in
+              result
+          | exception Stob_sim.Fault.Injected _ ->
+              g.g_injected <- g.g_injected + 1;
+              g.g_fallbacks <- g.g_fallbacks + 1;
+              record_failure g ~now;
+              d
+          | exception _ ->
+              g.g_exceptions <- g.g_exceptions + 1;
+              g.g_fallbacks <- g.g_fallbacks + 1;
+              record_failure g ~now;
+              d)
+  in
+  let report () =
+    {
+      rung = g.g_rung;
+      decisions = g.g_decisions;
+      full_policy_decisions = g.g_full;
+      clamp_only_decisions = g.g_clamp;
+      passthrough_decisions = g.g_pass;
+      hook_exceptions = g.g_exceptions;
+      injected_faults = g.g_injected;
+      stalls = g.g_stalls;
+      fallbacks = g.g_fallbacks;
+      unsafe_proposals = g.g_unsafe;
+      trips = List.rev g.g_trips;
+    }
+  in
+  ({ Hooks.on_segment }, report)
+
+let pp_degradation_report ppf r =
+  Format.fprintf ppf
+    "@[<v>rung: %s@,decisions: %d (full %d / clamp %d / passthrough %d)@,\
+     failures: %d exceptions, %d injected, %d stalls, %d unsafe proposals@,\
+     fallback decisions: %d@,trips: %a@]"
+    (rung_name r.rung) r.decisions r.full_policy_decisions r.clamp_only_decisions
+    r.passthrough_decisions r.hook_exceptions r.injected_faults r.stalls r.unsafe_proposals
+    r.fallbacks
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (t, rung) -> Format.fprintf ppf "%.4fs->%s" t (rung_name rung)))
+    r.trips

@@ -26,3 +26,67 @@ val hooks : t -> Stob_tcp.Hooks.t
 
 val stats : t -> stats
 val policy : t -> Policy.t
+
+(** {1 Graceful degradation}
+
+    A guarded hook wraps any {!Stob_tcp.Hooks.t} in a fallback ladder:
+
+    {v full policy -> clamp-only -> defense-off passthrough v}
+
+    On the {e full-policy} rung the hook's answer is trusted (modulo the
+    safety clamp); on {e clamp-only} its size decisions survive but timing
+    proposals are discarded; on {e passthrough} the hook is no longer
+    consulted and the stack's own decision ships.  A circuit breaker trips
+    to the next rung when [trip_failures] hook failures land within a
+    sliding [window] of virtual seconds — each consultation that raises,
+    exceeds the [stall_budget], or proposes something the clamp must
+    correct counts as one failure, and ships the stack's unmodified
+    decision for that segment.  The page load always completes; it merely
+    completes less defended, and the {!degradation_report} says exactly how
+    much less. *)
+
+(** The ladder, most- to least-defended. *)
+type rung = Full_policy | Clamp_only | Passthrough
+
+val rung_name : rung -> string
+
+type breaker = {
+  trip_failures : int;  (** Failures within [window] that trip one rung. *)
+  window : float;  (** Sliding-window length, virtual seconds. *)
+  stall_budget : float;
+      (** Max hook compute time per consultation, seconds.  Within budget,
+          hook latency is {e added to the departure} (the safe direction);
+          beyond it the consultation is killed and counted as a failure. *)
+}
+
+val default_breaker : breaker
+(** 3 failures within 1 s; 50 ms stall budget. *)
+
+type degradation_report = {
+  rung : rung;  (** Final rung when the report was read. *)
+  decisions : int;
+  full_policy_decisions : int;
+  clamp_only_decisions : int;
+  passthrough_decisions : int;
+  hook_exceptions : int;  (** Hook raised something other than [Fault.Injected]. *)
+  injected_faults : int;  (** Hook raised {!Stob_sim.Fault.Injected}. *)
+  stalls : int;  (** Consultations killed for exceeding the stall budget. *)
+  fallbacks : int;  (** Decisions where the stack's answer shipped because the
+                        hook failed (excludes passthrough-rung decisions). *)
+  unsafe_proposals : int;  (** Proposals {!Safety.is_safe} rejected. *)
+  trips : (float * rung) list;  (** Breaker trips: (virtual time, new rung). *)
+}
+
+val guard :
+  ?breaker:breaker ->
+  ?latency:(now:float -> float) ->
+  Stob_tcp.Hooks.t ->
+  Stob_tcp.Hooks.t * (unit -> degradation_report)
+(** [guard hooks] is the guarded hook plus a report thunk.  [latency] is an
+    oracle for the hook's compute time at a given consultation (the chaos
+    harness's {!Stob_sim.Fault.Hook_stall} surface); omitted means free.
+    Raises [Invalid_argument] on a non-positive [trip_failures] or [window]
+    or a negative [stall_budget].  Install the wrapped hook; read the
+    report after the run. *)
+
+val pp_degradation_report : Format.formatter -> degradation_report -> unit

@@ -32,3 +32,13 @@ val utilization : t -> float
 
 val queue_depth : t -> int
 (** Work items submitted but not yet completed. *)
+
+val set_overload : t -> float -> unit
+(** Multiply the cost of subsequently submitted work by [factor] (an
+    overload burst: interrupts, co-tenant contention).  [1.0] restores
+    nominal costs; already-queued work is unaffected.  Raises
+    [Invalid_argument] on a non-positive factor.  Used by the fault
+    injector ({!Fault}). *)
+
+val overload : t -> float
+(** Current cost multiplier (1.0 when nominal). *)

@@ -12,6 +12,13 @@ type event_id
 (** Handle for cancellation (e.g., a retransmission timer that an ACK
     disarms). *)
 
+exception Livelock of { time : float; events : int }
+(** Raised by {!step}/{!run} when more than the same-instant budget of
+    consecutive events execute without the clock advancing — the signature
+    of a callback rescheduling itself with zero delay.  Without the budget
+    such a bug hangs the process; with it, the hang becomes a structured,
+    catchable failure (the chaos monitor reports it as a violation). *)
+
 val create : unit -> t
 
 val now : t -> float
@@ -41,3 +48,25 @@ val pending : t -> int
 
 val events_processed : t -> int
 (** Total callbacks executed so far (for engine-level sanity checks). *)
+
+(** {1 Robustness instrumentation} *)
+
+val set_same_instant_budget : t -> int -> unit
+(** Maximum number of {e consecutive} events the engine will execute at one
+    virtual instant before raising {!Livelock}.  The default
+    ({!default_same_instant_budget}) is far above anything a legitimate
+    workload produces; tests lower it to catch zero-delay self-rescheduling
+    quickly.  Raises [Invalid_argument] on a non-positive budget. *)
+
+val same_instant_budget : t -> int
+
+val default_same_instant_budget : int
+(** 1_000_000. *)
+
+val set_probe : t -> (now:float -> unit) -> unit
+(** [set_probe t f] installs an observe-only probe called after every
+    executed event with the event's timestamp.  One probe at a time; the
+    invariant monitor ({!Stob_check}) chains its checks through this.  The
+    probe must not schedule or cancel events. *)
+
+val clear_probe : t -> unit

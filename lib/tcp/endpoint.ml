@@ -124,6 +124,7 @@ let set_on_fin t f = t.on_fin <- f
 let set_hooks t h = t.hooks <- h
 let hooks t = t.hooks
 let cc t = t.cc
+let config t = t.config
 
 let now t = Engine.now t.engine
 
@@ -644,3 +645,47 @@ and process_data t (p : Packet.t) =
       (* Pure duplicate: re-ACK so the sender makes progress. *)
       send_pure_ack t
   end
+
+(* ------------------------------------------------------------------ *)
+(* Invariant-monitor surface.  Defined last: the [inspection] field names
+   deliberately mirror the internal state and would otherwise shadow the
+   mutable fields of [t] for the code above. *)
+
+type inspection = {
+  snd_una : int;
+  snd_nxt : int;
+  rcv_nxt : int;
+  cwnd : int;
+  inflight : int;
+  in_stack : int;
+  app_queue : int;
+  sacked : (int * int) list;
+  in_recovery : bool;
+  recover_point : int;
+  rtx_next : int;
+  fin_sent : bool;
+  fin_acked : bool;
+  retransmissions : int;
+  pacer_next_free : float;
+}
+
+let inspect (t : t) : inspection =
+  {
+    snd_una = t.snd_una;
+    snd_nxt = t.snd_nxt;
+    rcv_nxt = t.rcv_nxt;
+    cwnd = t.cc.Cc.cwnd ();
+    inflight = t.snd_nxt - t.snd_una;
+    in_stack = t.in_stack;
+    app_queue = t.app_queue;
+    sacked = t.sacked;
+    in_recovery = t.in_recovery;
+    recover_point = t.recover_point;
+    rtx_next = t.rtx_next;
+    fin_sent = t.fin_sent;
+    fin_acked = t.fin_acked;
+    retransmissions = t.retransmissions;
+    pacer_next_free = Pacer.next_free t.pacer;
+  }
+
+let inject_pacer_jump (t : t) delta = Pacer.jump t.pacer delta

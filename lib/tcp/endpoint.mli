@@ -99,3 +99,35 @@ val rto_events : t -> int
 val segments_sent : t -> int
 val packets_sent : t -> int
 val srtt : t -> float option
+
+val config : t -> Config.t
+(** The configuration the endpoint was created with. *)
+
+(** Consistent snapshot of the sender/receiver state machine, taken for the
+    runtime invariant monitor ({!Stob_check.Monitor}).  Field meanings match
+    the internal state: [sacked] are the peer-reported [[lo, hi)] ranges,
+    [recover_point]/[rtx_next] are only meaningful while [in_recovery], and
+    [pacer_next_free] is the booked fq departure horizon. *)
+type inspection = {
+  snd_una : int;
+  snd_nxt : int;
+  rcv_nxt : int;
+  cwnd : int;
+  inflight : int;
+  in_stack : int;
+  app_queue : int;
+  sacked : (int * int) list;
+  in_recovery : bool;
+  recover_point : int;
+  rtx_next : int;
+  fin_sent : bool;
+  fin_acked : bool;
+  retransmissions : int;
+  pacer_next_free : float;
+}
+
+val inspect : t -> inspection
+
+val inject_pacer_jump : t -> float -> unit
+(** Shift this endpoint's pacing clock ({!Pacer.jump}) — the
+    {!Stob_sim.Fault.Pacer_jump} surface.  Never called on the happy path. *)

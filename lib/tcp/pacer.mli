@@ -20,3 +20,12 @@ val commit : t -> departure:float -> rate_bps:float -> bytes:int -> unit
 val reset : t -> unit
 (** Forget accumulated budget (used after idle periods so a burst does not
     get an artificial head start, mirroring fq's behaviour). *)
+
+val next_free : t -> float
+(** The booked departure horizon itself (introspection: the invariant
+    monitor asserts it never moves backwards on the happy path). *)
+
+val jump : t -> float -> unit
+(** [jump t delta] shifts the pacing clock by [delta] seconds (clamped at
+    zero).  A forward jump parks the flow until the horizon passes — the
+    {!Stob_sim.Fault.Pacer_jump} fault; the happy path never calls this. *)

@@ -94,6 +94,7 @@ let send t packets =
   end
 
 let capture t = t.capture
+let server_qdisc t = t.server_qdisc
 let server_link_bytes t = Link.bytes_sent t.to_client
 let client_link_bytes t = Link.bytes_sent t.to_server
 let drops t =

@@ -54,6 +54,12 @@ val send : t -> Stob_net.Packet.t array -> unit
 val capture : t -> Stob_net.Capture.t
 (** The combined two-direction capture. *)
 
+val server_qdisc : t -> Stob_net.Packet.t array Qdisc.t option
+(** The server-egress fair-queueing qdisc, when [server_fq] was requested.
+    Exposed for the invariant monitor (backlog-vs-limit watch) and the
+    chaos harness ({!Stob_sim.Fault.Qdisc_collapse} applies
+    {!Qdisc.set_limit_bytes} here). *)
+
 val server_link_bytes : t -> int
 (** Bytes serialized so far on the server->client link (throughput probes). *)
 

@@ -6,7 +6,7 @@ type 'a scheme =
 
 type 'a t = {
   scheme : 'a scheme;
-  limit_bytes : int;
+  mutable limit_bytes : int;
   size : 'a -> int;
   mutable total_backlog : int;
   mutable drops : int;
@@ -103,5 +103,13 @@ let dequeue t =
   result
 
 let backlog_bytes t = t.total_backlog
+
+let limit_bytes t = t.limit_bytes
+
+let set_limit_bytes t limit =
+  if limit < 0 then invalid_arg "Qdisc.set_limit_bytes: negative limit";
+  (* Already-queued items are not dropped: like a runtime `tc change`, the
+     new limit gates admissions only. *)
+  t.limit_bytes <- limit
 let flow_backlog t ~flow = Option.value ~default:0 (Hashtbl.find_opt t.per_flow flow)
 let drops t = t.drops

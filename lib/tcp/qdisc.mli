@@ -27,6 +27,15 @@ val dequeue : 'a t -> (int * 'a) option
 val backlog_bytes : 'a t -> int
 (** Total queued bytes. *)
 
+val limit_bytes : 'a t -> int
+(** Current admission limit. *)
+
+val set_limit_bytes : 'a t -> int -> unit
+(** Change the admission limit at runtime (like [tc change]).  Queued items
+    are kept — only new admissions are gated — so the invariant monitor can
+    observe a backlog stranded above a collapsed limit.  Raises
+    [Invalid_argument] on a negative limit. *)
+
 val flow_backlog : 'a t -> flow:int -> int
 (** Queued bytes belonging to [flow] (the TCP-small-queues accounting). *)
 

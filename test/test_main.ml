@@ -2,4 +2,4 @@
 
 let () =
   Alcotest.run "stob"
-    (List.concat [ Test_util.suite; Test_par.suite; Test_sim.suite; Test_net.suite; Test_tcp.suite; Test_web.suite; Test_core.suite; Test_ml.suite; Test_kfp.suite; Test_defense.suite; Test_quic.suite; Test_nn.suite; Test_experiments.suite ])
+    (List.concat [ Test_util.suite; Test_par.suite; Test_sim.suite; Test_net.suite; Test_tcp.suite; Test_web.suite; Test_core.suite; Test_ml.suite; Test_kfp.suite; Test_defense.suite; Test_quic.suite; Test_nn.suite; Test_experiments.suite; Test_chaos.suite ])

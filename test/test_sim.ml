@@ -378,6 +378,124 @@ let prop_netem_conserves_frames =
       && stats.Netem.delivered = List.length delivered
       && List.length delivered = 300 - stats.Netem.lost + stats.Netem.duplicated)
 
+(* --- Engine robustness: same-instant budget and probe ------------------- *)
+
+let expect_invalid_arg name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+
+(* A callback rescheduling itself with zero delay must become a structured
+   Livelock at the stuck instant, not a hang. *)
+let test_engine_livelock_detected () =
+  let engine = Engine.create () in
+  Engine.set_same_instant_budget engine 64;
+  let ran = ref 0 in
+  let rec respawn () =
+    incr ran;
+    ignore (Engine.schedule engine ~delay:0.0 respawn)
+  in
+  ignore (Engine.schedule engine ~delay:1.0 respawn);
+  (match Engine.run engine with
+  | () -> Alcotest.fail "livelock not detected"
+  | exception Engine.Livelock { time; events } ->
+      check_float "stuck at the livelocked instant" 1.0 time;
+      Alcotest.(check bool) "budget consumed" true (events >= 64));
+  Alcotest.(check bool) "callbacks did run up to the budget" true (!ran >= 64)
+
+(* The budget counts consecutive same-instant events only: any clock
+   advance resets it, and bursts below the budget pass untouched. *)
+let test_engine_budget_resets_on_advance () =
+  let engine = Engine.create () in
+  Engine.set_same_instant_budget engine 8;
+  let count = ref 0 in
+  let rec tick i () =
+    incr count;
+    if i < 100 then ignore (Engine.schedule engine ~delay:1e-6 (tick (i + 1)))
+  in
+  ignore (Engine.schedule engine ~delay:0.0 (tick 1));
+  for _ = 1 to 5 do
+    ignore (Engine.schedule engine ~delay:2.0 (fun () -> incr count))
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all events ran without a false livelock" 105 !count
+
+let test_engine_budget_validate () =
+  let engine = Engine.create () in
+  expect_invalid_arg "zero budget" (fun () -> Engine.set_same_instant_budget engine 0);
+  Engine.set_same_instant_budget engine 42;
+  Alcotest.(check int) "budget readable" 42 (Engine.same_instant_budget engine);
+  Alcotest.(check bool) "default is large" true (Engine.default_same_instant_budget >= 100_000)
+
+let test_engine_probe () =
+  let engine = Engine.create () in
+  let seen = ref [] in
+  Engine.set_probe engine (fun ~now -> seen := now :: !seen);
+  ignore (Engine.schedule engine ~delay:1.0 (fun () -> ()));
+  ignore (Engine.schedule engine ~delay:2.0 (fun () -> ()));
+  Engine.run engine;
+  Alcotest.(check (list (float 1e-12))) "probe fires after every event" [ 1.0; 2.0 ]
+    (List.rev !seen);
+  Engine.clear_probe engine;
+  ignore (Engine.schedule engine ~delay:3.0 (fun () -> ()));
+  Engine.run engine;
+  Alcotest.(check int) "cleared probe is silent" 2 (List.length !seen)
+
+(* --- Fault injector ----------------------------------------------------- *)
+
+module Fault = Stob_sim.Fault
+
+let fault_cfg ?(events = 2) ?(horizon = 5.0) ~seed kinds =
+  { Fault.kinds; events_per_kind = events; horizon; seed }
+
+let test_fault_plan_deterministic () =
+  let cfg = fault_cfg ~events:3 ~seed:7 Fault.all_kinds in
+  let p1 = Fault.plan cfg and p2 = Fault.plan cfg in
+  Alcotest.(check bool) "same seed, same plan" true (p1 = p2);
+  Alcotest.(check int) "events per kind honoured"
+    (3 * List.length Fault.all_kinds)
+    (List.length p1);
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Fault.at <= b.Fault.at && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by activation time" true (sorted p1);
+  Alcotest.(check bool) "different seed, different plan" true
+    (p1 <> Fault.plan (fault_cfg ~events:3 ~seed:8 Fault.all_kinds))
+
+(* The pre-split rule: a kind's draws must not depend on which other kinds
+   are enabled. *)
+let test_fault_plan_subset_stable () =
+  let pacer_of = List.filter (fun e -> e.Fault.kind = Fault.Pacer_jump) in
+  let all = Fault.plan (fault_cfg ~seed:11 Fault.all_kinds) in
+  let only = Fault.plan (fault_cfg ~seed:11 [ Fault.Pacer_jump ]) in
+  Alcotest.(check bool) "pacer draws independent of other kinds" true (pacer_of all = only)
+
+let test_fault_plan_validate () =
+  expect_invalid_arg "negative event count" (fun () ->
+      Fault.plan { Fault.default_config with Fault.events_per_kind = -1 });
+  expect_invalid_arg "non-positive horizon" (fun () ->
+      Fault.plan { Fault.default_config with Fault.horizon = 0.0 })
+
+let test_fault_kind_names () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (Fault.kind_name k) true (Fault.kind_of_name (Fault.kind_name k) = k))
+    Fault.all_kinds;
+  expect_invalid_arg "unknown kind name" (fun () -> Fault.kind_of_name "meteor-strike")
+
+let test_fault_arm_schedules () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let record tag e = log := Printf.sprintf "%s:%s@%g" tag (Fault.kind_name e.Fault.kind) (Engine.now engine) :: !log in
+  let windowed = { Fault.kind = Fault.Hook_stall; at = 1.0; duration = 0.5; magnitude = 0.1 } in
+  let point = { Fault.kind = Fault.Pacer_jump; at = 2.0; duration = 0.0; magnitude = 1.0 } in
+  Fault.arm ~engine ~apply:(record "apply") ~revert:(record "revert") [ windowed; point ];
+  Engine.run engine;
+  Alcotest.(check (list string)) "apply at [at], revert at [at+duration], none for point events"
+    [ "apply:hook-stall@1"; "revert:hook-stall@1.5"; "apply:pacer-jump@2" ]
+    (List.rev !log)
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
@@ -424,5 +542,21 @@ let suite =
         Alcotest.test_case "jitter" `Quick test_netem_jitter_delays;
         Alcotest.test_case "validate" `Quick test_netem_validate;
         q prop_netem_conserves_frames;
+      ] );
+    ( "sim.engine_robustness",
+      [
+        Alcotest.test_case "livelock detected" `Quick test_engine_livelock_detected;
+        Alcotest.test_case "budget resets on clock advance" `Quick
+          test_engine_budget_resets_on_advance;
+        Alcotest.test_case "budget validated" `Quick test_engine_budget_validate;
+        Alcotest.test_case "probe" `Quick test_engine_probe;
+      ] );
+    ( "sim.fault",
+      [
+        Alcotest.test_case "plan deterministic" `Quick test_fault_plan_deterministic;
+        Alcotest.test_case "plan subset-stable" `Quick test_fault_plan_subset_stable;
+        Alcotest.test_case "plan validated" `Quick test_fault_plan_validate;
+        Alcotest.test_case "kind names round-trip" `Quick test_fault_kind_names;
+        Alcotest.test_case "arm schedules apply/revert" `Quick test_fault_arm_schedules;
       ] );
   ]

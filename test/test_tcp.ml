@@ -646,6 +646,42 @@ let test_karn_synack_retransmit () =
   Alcotest.(check (option (float 0.0))) "no RTT sample from ambiguous handshake ACK" None
     (Endpoint.srtt ep)
 
+(* --- API preconditions: misuse must raise Invalid_argument -------------- *)
+
+(* These raises are load-bearing for the chaos harness: an injected fault
+   raises Stob_sim.Fault.Injected, never Invalid_argument, so a
+   precondition violation inside a chaos run is always reported as a
+   genuine bug rather than absorbed as chaos. *)
+
+let expect_invalid_arg name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+
+let test_write_preconditions () =
+  let engine, ep, _ = lone_client () in
+  establish_client ep;
+  expect_invalid_arg "write 0 bytes" (fun () -> Endpoint.write ep 0);
+  expect_invalid_arg "write negative" (fun () -> Endpoint.write ep (-1));
+  Endpoint.write ep 100;
+  Endpoint.close ep;
+  expect_invalid_arg "write while closing" (fun () -> Endpoint.write ep 1);
+  (* The misuse must not have corrupted the connection: the accepted bytes
+     still go out (bounded run; the unacked FIN would retransmit forever). *)
+  Engine.run ~until:0.5 engine;
+  Alcotest.(check int) "accepted write still transmitted" 0 (Endpoint.unsent ep)
+
+let test_connect_preconditions () =
+  let _, ep, _ = lone_client () in
+  Endpoint.connect ep;
+  expect_invalid_arg "connect when not closed" (fun () -> Endpoint.connect ep)
+
+let test_send_dummy_preconditions () =
+  let _, ep, _ = lone_client () in
+  establish_client ep;
+  expect_invalid_arg "dummy 0 bytes" (fun () -> Endpoint.send_dummy ep 0);
+  expect_invalid_arg "dummy negative" (fun () -> Endpoint.send_dummy ep (-5))
+
 (* --- Netem integration: deterministic single-drop regressions ---------- *)
 
 (* Like [request_response], but the server closes after writing its response
@@ -850,6 +886,12 @@ let suite =
         Alcotest.test_case "partial-overlap FIN" `Quick test_partial_overlap_fin;
         Alcotest.test_case "karn: retransmitted SYN" `Quick test_karn_syn_retransmit;
         Alcotest.test_case "karn: retransmitted SYN|ACK" `Quick test_karn_synack_retransmit;
+      ] );
+    ( "tcp.preconditions",
+      [
+        Alcotest.test_case "write misuse raises" `Quick test_write_preconditions;
+        Alcotest.test_case "connect misuse raises" `Quick test_connect_preconditions;
+        Alcotest.test_case "send_dummy misuse raises" `Quick test_send_dummy_preconditions;
       ] );
     ( "tcp.impairment",
       [
