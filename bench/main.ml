@@ -11,6 +11,7 @@
 
 open Stob_experiments
 module Pool = Stob_par.Pool
+module Sv = Stob_store.Supervisor
 
 let hr title =
   Printf.printf
@@ -21,21 +22,61 @@ let run_table1 () =
   hr "Table 1 (E3/E8): defense taxonomy with measured overheads";
   Table1.print (Table1.run ())
 
+(* Crash-safe sweep plumbing: `--state-dir DIR` journals every finished
+   cell so a killed run resumes from where it died; `--retries N` re-runs
+   raising cells; `--strict` turns poisoned cells into a non-zero exit
+   (the default reports them and completes). *)
+type sweep_opts = { state_dir : string option; retries : int; strict : bool }
+
+let default_sweep = { state_dir = None; retries = 0; strict = false }
+
+let with_store opts f =
+  match opts.state_dir with
+  | None -> f None
+  | Some dir ->
+      let store = Stob_store.Store.open_ dir in
+      Fun.protect
+        ~finally:(fun () -> Stob_store.Store.close store)
+        (fun () -> f (Some store))
+
+(* The tally goes to stderr with the rest of the progress chatter: stdout
+   stays pure results, so a resumed run's stdout is byte-identical to an
+   uninterrupted one. *)
+let finish_sweep opts = function
+  | None -> ()
+  | Some (r : Stob_store.Supervisor.report) ->
+      Format.eprintf "@[sweep: %a@]@." Stob_store.Supervisor.pp_report r;
+      if opts.strict && r.Stob_store.Supervisor.poisoned <> [] then begin
+        Printf.eprintf "strict: failing on %d poisoned cell(s)\n"
+          (List.length r.Stob_store.Supervisor.poisoned);
+        exit 1
+      end
+
 let table2_config ~quick =
   if quick then { Table2.default_config with samples_per_site = 20; folds = 3; forest_trees = 40 }
   else Table2.default_config
 
-let run_table2 ?pool ~quick () =
+let run_table2 ?pool ?(sweep = default_sweep) ~quick () =
   hr "Table 2 (E1): k-FP accuracy under emulated countermeasures";
-  Table2.print (Table2.run ~config:(table2_config ~quick) ?pool ())
+  with_store sweep (fun store ->
+      let report = ref None in
+      Table2.print
+        (Table2.run ~config:(table2_config ~quick) ?pool ?store ~retries:sweep.retries
+           ~on_report:(fun r -> report := Some r) ());
+      finish_sweep sweep !report)
 
 let fig3_config ~quick =
   if quick then { Fig3.default_config with alphas = [ 0; 8; 16; 24; 32; 40 ] }
   else Fig3.default_config
 
-let run_fig3 ?pool ~quick () =
+let run_fig3 ?pool ?(sweep = default_sweep) ~quick () =
   hr "Figure 3 (E2): throughput under packet/TSO size adjustment";
-  Fig3.print (Fig3.run ~config:(fig3_config ~quick) ?pool ())
+  with_store sweep (fun store ->
+      let report = ref None in
+      Fig3.print
+        (Fig3.run ~config:(fig3_config ~quick) ?pool ?store ~retries:sweep.retries
+           ~on_report:(fun r -> report := Some r) ());
+      finish_sweep sweep !report)
 
 let run_fig1 () =
   hr "Figure 1 (E4): the stack model";
@@ -67,11 +108,16 @@ let run_cca_id ~quick () =
   let trees = if quick then 50 else 100 in
   Cca_id.print (Cca_id.run ~flows_per_cca ~trees ())
 
-let run_openworld ~quick () =
+let run_openworld ?pool ?(sweep = default_sweep) ~quick () =
   hr "Extension: open-world evaluation (k-FP's native setting)";
   let samples_per_site = if quick then 12 else 30 in
   let trees = if quick then 40 else 100 in
-  Openworld.print (Openworld.run ~samples_per_site ~trees ())
+  with_store sweep (fun store ->
+      let report = ref None in
+      Openworld.print
+        (Openworld.run ~samples_per_site ~trees ?pool ?store ~retries:sweep.retries
+           ~on_report:(fun r -> report := Some r) ());
+      finish_sweep sweep !report)
 
 let run_httpos ~quick () =
   hr "Extension: HTTPOS-style client-side defense and its cost (Section 2.3)";
@@ -85,11 +131,16 @@ let run_importance ~quick () =
   let trees = if quick then 40 else 100 in
   Importance.print (Importance.run ~samples_per_site ~trees ())
 
-let run_pareto ~quick () =
+let run_pareto ?pool ?(sweep = default_sweep) ~quick () =
   hr "Extension: Stob policy sweep (protection vs overhead frontier)";
   let samples_per_site = if quick then 12 else 30 in
   let trees = if quick then 40 else 100 in
-  Pareto.print (Pareto.run ~samples_per_site ~trees ())
+  with_store sweep (fun store ->
+      let report = ref None in
+      Pareto.print
+        (Pareto.run ~samples_per_site ~trees ?pool ?store ~retries:sweep.retries
+           ~on_report:(fun r -> report := Some r) ());
+      finish_sweep sweep !report)
 
 let run_dl ~quick () =
   hr "Extension: deep-learning vs feature-engineered attacks";
@@ -175,6 +226,44 @@ let run_chaos ?pool ~smoke ~chaos_seed () =
     Pool.with_pool ~domains:3 (fun p ->
         let par = C.run_sweep ~pool:p ~seed:chaos_seed scenarios in
         if par <> results then fail "jobs parity: parallel chaos sweep differs from sequential");
+  (* Store canary gate: journal a tiny Fig 3 sweep, recompute it fresh, and
+     let the monitor compare a sample of journal payloads byte-for-byte —
+     a silently poisoned result cache must fail the battery. *)
+  let canary_cfg =
+    { Fig3.default_config with Fig3.alphas = [ 0; 16; 32 ]; warmup = 0.02; measure = 0.04 }
+  in
+  let canary_runs = ref 0 in
+  let journaled_entries () =
+    incr canary_runs;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "stob-chaos-canary.%d.%d" (Unix.getpid ()) !canary_runs)
+    in
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+    let store = Stob_store.Store.open_ dir in
+    ignore (Fig3.run ~config:canary_cfg ~store ());
+    Stob_store.Store.close store;
+    let _, entries = Stob_store.Store.peek dir in
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+    List.filter_map
+      (fun (_, label, status) ->
+        match status with Stob_store.Store.Done p -> Some (label, p) | _ -> None)
+      entries
+  in
+  let journaled = journaled_entries () in
+  let recomputed = journaled_entries () in
+  let canary_engine = Stob_sim.Engine.create () in
+  let monitor = Stob_check.Monitor.create canary_engine in
+  Stob_check.Monitor.check_store_canary monitor ~sample:2 ~seed:chaos_seed ~entries:journaled
+    ~recompute:(fun label -> List.assoc_opt label recomputed);
+  (match Stob_check.Monitor.violations monitor with
+  | [] ->
+      Printf.printf "chaos: store canary clean (%d journal records, 2 sampled)\n%!"
+        (List.length journaled)
+  | vs ->
+      List.iter
+        (fun v -> fail "store canary: %s" (Stob_check.Violation.to_string v))
+        vs);
   match List.rev !failures with
   | [] ->
       Printf.printf "\nchaos: all gates passed (%d cells, seed %d)\n" (List.length results)
@@ -399,9 +488,7 @@ let run_forest ~smoke () =
         (Array.length features) Stob_kfp.Features.dimension n_classes trees_ref t_ref per_ref
         trees_fast t_fast per_fast speedup !parity
     in
-    let oc = open_out "BENCH_forest.json" in
-    output_string oc json;
-    close_out oc;
+    Stob_store.Atomic_file.write "BENCH_forest.json" json;
     Printf.printf "  wrote BENCH_forest.json\n%!";
     Printf.printf "\nBechamel (2-tree forests, same workload shape, %d samples):\n%!"
       (9 * 12);
@@ -465,6 +552,115 @@ let run_smoke () =
   if !failed then exit 1;
   print_endline "smoke: all parallel paths deterministic"
 
+(* ------------------------------------------------------------------ *)
+(* Resume smoke: the checkpoint/resume machinery end to end on a small
+   journaled Fig 3 sweep — cold-run parity, warm-cache reopen, torn-tail
+   truncation + resume at 1 and 4 domains, and the retry/poison paths.
+   Run by `dune runtest` through the @resume alias. *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+(* End offset of every complete frame in a journal image, in order. *)
+let frame_ends bytes =
+  let n = String.length bytes in
+  let rec go off acc =
+    if off + 8 > n then List.rev acc
+    else
+      let len = Int32.to_int (String.get_int32_be bytes off) in
+      let next = off + 8 + len in
+      if next > n then List.rev acc else go next (next :: acc)
+  in
+  go (String.length Stob_store.Journal.magic) []
+
+let run_resume_smoke () =
+  hr "Resume smoke: crash/resume parity of the journaled sweeps";
+  let failed = ref false in
+  let check what ok =
+    Printf.printf "resume-smoke: %-48s %s\n%!" what (if ok then "ok" else "FAILED");
+    if not ok then failed := true
+  in
+  let dir_counter = ref 0 in
+  let fresh_dir () =
+    incr dir_counter;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stob-resume-smoke.%d.%d" (Unix.getpid ()) !dir_counter)
+  in
+  let rm_rf dir = ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))) in
+  let cfg =
+    { Fig3.default_config with Fig3.alphas = [ 0; 12; 24; 36 ]; warmup = 0.02; measure = 0.04 }
+  in
+  let run ?pool ?retries ?inject ?store () =
+    let report = ref None in
+    let points =
+      Fig3.run ~config:cfg ?pool ?retries ?inject ?store
+        ~on_report:(fun r -> report := Some r)
+        ()
+    in
+    (points, Option.get !report)
+  in
+  let reference, _ = run () in
+  (* Cold journaled run: computes everything, output identical to plain. *)
+  let dir = fresh_dir () in
+  let store = Stob_store.Store.open_ dir in
+  let full, rep = run ~store () in
+  Stob_store.Store.close store;
+  check "journaled run matches plain run" (full = reference);
+  check "cold run computes every cell" (rep.Sv.cached = 0 && rep.Sv.computed = rep.Sv.total);
+  (* Warm reopen: every cell served from the journal, same output. *)
+  let store = Stob_store.Store.open_ dir in
+  let warm, rep = run ~store () in
+  Stob_store.Store.close store;
+  check "warm rerun matches" (warm = reference);
+  check "warm rerun is fully cached" (rep.Sv.cached = rep.Sv.total);
+  (* Interrupted run: truncate a copy of the journal after the manifest and
+     the first cell, add half a frame header as a torn tail, and resume —
+     sequentially and on four domains.  Both must recover the tear, reuse
+     the surviving cell and produce bit-identical points. *)
+  let journal = read_file (Stob_store.Store.journal_file dir) in
+  let ends = frame_ends journal in
+  check "journal has one frame per cell + manifest" (List.length ends = rep.Sv.total + 1);
+  let keep = List.nth ends 1 in
+  List.iter
+    (fun jobs ->
+      let dir' = fresh_dir () in
+      Unix.mkdir dir' 0o755;
+      write_file
+        (Stob_store.Store.journal_file dir')
+        (String.sub journal 0 keep ^ String.sub journal keep 5);
+      let store = Stob_store.Store.open_ dir' in
+      let resumed, rep =
+        if jobs = 1 then run ~store ()
+        else Pool.with_pool ~domains:jobs (fun pool -> run ~pool ~store ())
+      in
+      Stob_store.Store.close store;
+      check (Printf.sprintf "truncated resume matches (--jobs %d)" jobs) (resumed = reference);
+      check
+        (Printf.sprintf "truncated resume reuses the journal (--jobs %d)" jobs)
+        (rep.Sv.cached >= 1 && rep.Sv.computed = rep.Sv.total - rep.Sv.cached);
+      rm_rf dir')
+    [ 1; 4 ];
+  rm_rf dir;
+  (* Fault injection: an always-raising cell is poisoned (the sweep still
+     completes, with the point rendered nan); a first-attempt-only fault
+     heals under one retry. *)
+  let inject ~label ~attempt =
+    if label = "fig3/alpha=24" && attempt = 0 then failwith "injected fault"
+  in
+  let poisoned_pts, rep = run ~inject () in
+  check "poisoned sweep completes with nan point"
+    (List.length poisoned_pts = List.length reference
+    && Float.is_nan (List.nth poisoned_pts 2).Fig3.packet_gbps);
+  check "poisoned cell reported"
+    (rep.Sv.poisoned = [ ("fig3/alpha=24", "Failure(\"injected fault\")") ]);
+  let retried_pts, rep = run ~inject ~retries:1 () in
+  check "one retry heals a transient fault"
+    (retried_pts = reference && rep.Sv.retried = 1 && rep.Sv.poisoned = []);
+  if !failed then exit 1;
+  print_endline "resume-smoke: all resume/retry gates passed"
+
 let all ?pool ~quick () =
   run_fig1 ();
   run_fig2 ();
@@ -491,7 +687,10 @@ let () =
   and reorder = ref false
   and smoke = ref false
   and netem_seed = ref 4242
-  and chaos_seed = ref 1337 in
+  and chaos_seed = ref 1337
+  and state_dir = ref None
+  and retries = ref 0
+  and strict = ref false in
   let die msg =
     prerr_endline ("main.exe: " ^ msg);
     exit 2
@@ -504,6 +703,18 @@ let () =
               jobs := j;
               extract acc rest
           | _ -> die "--jobs expects a positive integer")
+      | "--state-dir" :: d :: rest ->
+          state_dir := Some d;
+          extract acc rest
+      | "--retries" :: n :: rest -> (
+          match int_of_string_opt n with
+          | Some r when r >= 0 ->
+              retries := r;
+              extract acc rest
+          | _ -> die "--retries expects a non-negative integer")
+      | "--strict" :: rest ->
+          strict := true;
+          extract acc rest
       | "--loss" :: f :: rest -> (
           match float_of_string_opt f with
           | Some l when l >= 0.0 && l <= 1.0 ->
@@ -534,25 +745,38 @@ let () =
     extract [] (List.tl (Array.to_list Sys.argv))
   in
   let jobs = !jobs in
+  let sweep = { state_dir = !state_dir; retries = !retries; strict = !strict } in
+  (* One state dir holds exactly one sweep (the manifest enforces it), so
+     the multi-artifact entry points refuse the flag rather than mixing
+     journals. *)
+  let sweep_only cmd =
+    if sweep.state_dir <> None then
+      die (Printf.sprintf "--state-dir applies to single-sweep artifacts, not %S" cmd)
+  in
   let with_jobs f =
     if jobs = 1 then f None else Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
   in
   match rest with
-  | [] -> with_jobs (fun pool -> all ?pool ~quick:false ())
-  | [ "quick" ] -> with_jobs (fun pool -> all ?pool ~quick:true ())
+  | [] ->
+      sweep_only "all";
+      with_jobs (fun pool -> all ?pool ~quick:false ())
+  | [ "quick" ] ->
+      sweep_only "quick";
+      with_jobs (fun pool -> all ?pool ~quick:true ())
   | [ "smoke" ] -> run_smoke ()
+  | [ "resume-smoke" ] -> run_resume_smoke ()
   | [ "table1" ] -> run_table1 ()
-  | [ "table2" ] -> with_jobs (fun pool -> run_table2 ?pool ~quick:false ())
-  | [ "table2-quick" ] -> with_jobs (fun pool -> run_table2 ?pool ~quick:true ())
+  | [ "table2" ] -> with_jobs (fun pool -> run_table2 ?pool ~sweep ~quick:false ())
+  | [ "table2-quick" ] -> with_jobs (fun pool -> run_table2 ?pool ~sweep ~quick:true ())
   | [ "fig1" ] -> run_fig1 ()
   | [ "fig2" ] -> run_fig2 ()
-  | [ "fig3" ] -> with_jobs (fun pool -> run_fig3 ?pool ~quick:false ())
-  | [ "fig3-quick" ] -> with_jobs (fun pool -> run_fig3 ?pool ~quick:true ())
+  | [ "fig3" ] -> with_jobs (fun pool -> run_fig3 ?pool ~sweep ~quick:false ())
+  | [ "fig3-quick" ] -> with_jobs (fun pool -> run_fig3 ?pool ~sweep ~quick:true ())
   | [ "ablation-stack" ] -> run_ablation_stack ~quick:false ()
   | [ "ablation-cca" ] -> run_ablation_cca ()
   | [ "ablation-quic" ] -> run_ablation_quic ~quick:false ()
-  | [ "openworld" ] -> run_openworld ~quick:false ()
-  | [ "openworld-quick" ] -> run_openworld ~quick:true ()
+  | [ "openworld" ] -> with_jobs (fun pool -> run_openworld ?pool ~sweep ~quick:false ())
+  | [ "openworld-quick" ] -> with_jobs (fun pool -> run_openworld ?pool ~sweep ~quick:true ())
   | [ "cca-id" ] -> run_cca_id ~quick:false ()
   | [ "cca-id-quick" ] -> run_cca_id ~quick:true ()
   | [ "httpos" ] -> run_httpos ~quick:false ()
@@ -563,8 +787,8 @@ let () =
   | [ "early-curve-quick" ] -> run_early_curve ~quick:true ()
   | [ "dl" ] -> run_dl ~quick:false ()
   | [ "dl-quick" ] -> run_dl ~quick:true ()
-  | [ "pareto" ] -> run_pareto ~quick:false ()
-  | [ "pareto-quick" ] -> run_pareto ~quick:true ()
+  | [ "pareto" ] -> with_jobs (fun pool -> run_pareto ?pool ~sweep ~quick:false ())
+  | [ "pareto-quick" ] -> with_jobs (fun pool -> run_pareto ?pool ~sweep ~quick:true ())
   | [ "micro" ] -> run_micro ~jobs ()
   | [ "forest" ] -> run_forest ~smoke:!smoke ()
   | [ "netem" ] ->
@@ -575,6 +799,6 @@ let () =
   | _ ->
       prerr_endline
         "usage: main.exe [--jobs N] [--loss F] [--reorder] [--netem-seed N] [--chaos-seed N] \
-         [--smoke] \
-         [quick|smoke|table1|table2|table2-quick|fig1|fig2|fig3|fig3-quick|ablation-stack|ablation-cca|ablation-quic|openworld|cca-id|httpos|importance|early-curve|dl|pareto|micro|forest|netem|chaos]";
+         [--smoke] [--state-dir DIR] [--retries N] [--strict] \
+         [quick|smoke|resume-smoke|table1|table2|table2-quick|fig1|fig2|fig3|fig3-quick|ablation-stack|ablation-cca|ablation-quic|openworld|cca-id|httpos|importance|early-curve|dl|pareto|micro|forest|netem|chaos]";
       exit 2

@@ -12,6 +12,8 @@
 
 open Cmdliner
 open Stob_experiments
+module Store = Stob_store.Store
+module Sv = Stob_store.Supervisor
 
 (* --- exit codes -------------------------------------------------------- *)
 
@@ -22,7 +24,9 @@ let exits =
     ~doc:
       "on a failed evaluation gate: a netem cell failed to converge, or a chaos cell crashed, \
        livelocked, left its page load incomplete, or (no-fault cells) reported an invariant \
-       violation."
+       violation.  Also: a sweep run with $(b,--strict) that recorded poisoned cells, \
+       $(b,gen-dataset) refusing to overwrite an existing export, and $(b,resume)/$(b,status) on \
+       a state directory that is empty or belongs to a different sweep."
   :: Cmd.Exit.defaults
 
 let cmd_info name ~doc = Cmd.info name ~doc ~exits
@@ -34,6 +38,14 @@ let pos_int_conv ~docv =
     match int_of_string_opt s with
     | Some v when v > 0 -> Ok v
     | Some _ | None -> Error (`Msg (Printf.sprintf "'%s' is not a positive integer" s))
+  in
+  Arg.conv ~docv (parse, Format.pp_print_int)
+
+let nonneg_int_conv ~docv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 0 -> Ok v
+    | Some _ | None -> Error (`Msg (Printf.sprintf "'%s' is not a non-negative integer" s))
   in
   Arg.conv ~docv (parse, Format.pp_print_int)
 
@@ -70,6 +82,46 @@ let jobs =
 let with_jobs jobs f =
   if jobs <= 1 then f None
   else Stob_par.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
+
+(* Crash-safe sweep options, shared by every supervised experiment
+   (table2, fig3, openworld, pareto, resume). *)
+
+let state_dir_arg =
+  let doc =
+    "Durable sweep state: journal every finished cell into $(docv) so a killed run can be \
+     picked up with $(b,stobctl resume) (or by re-running the same command), recomputing only \
+     the missing cells.  One directory holds exactly one sweep."
+  in
+  Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retry a raising sweep cell up to $(docv) more times before recording it as poisoned."
+  in
+  Arg.(value & opt (nonneg_int_conv ~docv:"N") 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let strict_arg =
+  let doc =
+    "Exit non-zero when any sweep cell ends up poisoned (default: report the failures and \
+     complete)."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let with_store state_dir f =
+  match state_dir with
+  | None -> f None
+  | Some dir ->
+      let store = Store.open_ dir in
+      Fun.protect ~finally:(fun () -> Store.close store) (fun () -> f (Some store))
+
+(* The tally goes to stderr with the rest of the progress chatter: stdout
+   stays pure results, so a resumed run's stdout is byte-identical to an
+   uninterrupted one. *)
+let finish_sweep ~strict = function
+  | None -> ()
+  | Some (r : Sv.report) ->
+      Format.eprintf "@[sweep: %a@]@." Sv.pp_report r;
+      if strict && r.Sv.poisoned <> [] then exit 1
 
 let samples =
   let doc = "Page-load samples to generate per site." in
@@ -132,7 +184,27 @@ let policy_arg =
 
 (* --- gen-dataset ------------------------------------------------------ *)
 
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun entry -> rm_rf (Filename.concat path entry)) (Sys.readdir path);
+      Unix.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
 let gen_dataset out samples seed policy jobs =
+  (* The export appears atomically: traces and labels.csv are staged in a
+     temp directory that is renamed into place only when complete, so a
+     crash can never leave a half-written corpus under [out].  An existing
+     non-empty target is refused up front rather than silently merged
+     with a previous export. *)
+  if Sys.file_exists out && ((not (Sys.is_directory out)) || Sys.readdir out <> [||]) then begin
+    Printf.eprintf
+      "stobctl gen-dataset: %s already exists and is not an empty directory; refusing to \
+       overwrite a previous export — remove it or pick another --out\n"
+      out;
+    exit 1
+  end;
   Printf.printf "generating %d samples/site for %d sites...\n%!" samples
     (List.length Stob_web.Sites.all);
   let dataset =
@@ -143,16 +215,22 @@ let gen_dataset out samples seed policy jobs =
           ?pool ())
   in
   let clean = Stob_web.Dataset.sanitize dataset in
-  (try Unix.mkdir out 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-  let labels = open_out (Filename.concat out "labels.csv") in
-  Array.iteri
-    (fun i s ->
-      let path = Filename.concat out (Printf.sprintf "trace_%04d.csv" i) in
-      Stob_net.Trace.save path s.Stob_web.Dataset.trace;
-      Printf.fprintf labels "trace_%04d.csv,%d,%s\n" i s.Stob_web.Dataset.label
-        s.Stob_web.Dataset.site)
-    clean.Stob_web.Dataset.samples;
-  close_out labels;
+  let tmp = Printf.sprintf "%s.tmp.%d" out (Unix.getpid ()) in
+  (try
+     Unix.mkdir tmp 0o755;
+     let labels = open_out (Filename.concat tmp "labels.csv") in
+     Array.iteri
+       (fun i s ->
+         let path = Filename.concat tmp (Printf.sprintf "trace_%04d.csv" i) in
+         Stob_net.Trace.save path s.Stob_web.Dataset.trace;
+         Printf.fprintf labels "trace_%04d.csv,%d,%s\n" i s.Stob_web.Dataset.label
+           s.Stob_web.Dataset.site)
+       clean.Stob_web.Dataset.samples;
+     close_out labels;
+     Sys.rename tmp out
+   with e ->
+     rm_rf tmp;
+     raise e);
   Printf.printf "wrote %d sanitized traces (+labels.csv) to %s/\n"
     (Array.length clean.Stob_web.Dataset.samples)
     out
@@ -240,19 +318,31 @@ let table1_cmd =
   Cmd.v (cmd_info "table1" ~doc:"Reproduce Table 1 (defense taxonomy + measured overheads)")
     Term.(const table1 $ const ())
 
-let table2 samples folds trees seed jobs =
+let table2 samples folds trees seed jobs state_dir retries strict =
   let config = { Table2.default_config with samples_per_site = samples; folds; forest_trees = trees; seed } in
-  with_jobs jobs (fun pool -> Table2.print (Table2.run ~config ?pool ()))
+  with_jobs jobs (fun pool ->
+      with_store state_dir (fun store ->
+          let report = ref None in
+          Table2.print
+            (Table2.run ~config ?pool ?store ~retries ~on_report:(fun r -> report := Some r) ());
+          finish_sweep ~strict !report))
 
 let table2_cmd =
   Cmd.v (cmd_info "table2" ~doc:"Reproduce Table 2 (k-FP accuracy under countermeasures)")
-    Term.(const table2 $ samples $ folds $ trees $ seed $ jobs)
+    Term.(
+      const table2 $ samples $ folds $ trees $ seed $ jobs $ state_dir_arg $ retries_arg
+      $ strict_arg)
 
-let fig3 jobs = with_jobs jobs (fun pool -> Fig3.print (Fig3.run ?pool ()))
+let fig3 jobs state_dir retries strict =
+  with_jobs jobs (fun pool ->
+      with_store state_dir (fun store ->
+          let report = ref None in
+          Fig3.print (Fig3.run ?pool ?store ~retries ~on_report:(fun r -> report := Some r) ());
+          finish_sweep ~strict !report))
 
 let fig3_cmd =
   Cmd.v (cmd_info "fig3" ~doc:"Reproduce Figure 3 (throughput under packet/TSO adjustment)")
-    Term.(const fig3 $ jobs)
+    Term.(const fig3 $ jobs $ state_dir_arg $ retries_arg $ strict_arg)
 
 let arch () =
   Arch.print_figure1 ();
@@ -289,8 +379,15 @@ let ablation_cca_cmd =
   Cmd.v (cmd_info "ablation-cca" ~doc:"E7: CCA interplay and the safety audit")
     Term.(const ablation_cca $ const ())
 
-let openworld samples trees =
-  Openworld.print (Openworld.run ~samples_per_site:samples ~trees ())
+let openworld samples trees seed jobs state_dir retries strict =
+  with_jobs jobs (fun pool ->
+      with_store state_dir (fun store ->
+          let report = ref None in
+          Openworld.print
+            (Openworld.run ~samples_per_site:samples ~trees ~seed ?pool ?store ~retries
+               ~on_report:(fun r -> report := Some r)
+               ());
+          finish_sweep ~strict !report))
 
 let openworld_cmd =
   let samples =
@@ -298,7 +395,163 @@ let openworld_cmd =
   in
   Cmd.v
     (cmd_info "openworld" ~doc:"Open-world k-FP evaluation against unseen background sites")
-    Term.(const openworld $ samples $ trees)
+    Term.(
+      const openworld $ samples $ trees $ seed $ jobs $ state_dir_arg $ retries_arg $ strict_arg)
+
+let pareto samples trees folds seed jobs state_dir retries strict =
+  with_jobs jobs (fun pool ->
+      with_store state_dir (fun store ->
+          let report = ref None in
+          Pareto.print
+            (Pareto.run ~samples_per_site:samples ~trees ~folds ~seed ?pool ?store ~retries
+               ~on_report:(fun r -> report := Some r)
+               ());
+          finish_sweep ~strict !report))
+
+let pareto_cmd =
+  let samples =
+    Arg.(value & opt int 30 & info [ "samples" ] ~docv:"N" ~doc:"Samples per site.")
+  in
+  let folds =
+    Arg.(value & opt (pos_int_conv ~docv:"K") 3 & info [ "folds" ] ~docv:"K" ~doc:"Cross-validation folds.")
+  in
+  Cmd.v
+    (cmd_info "pareto"
+       ~doc:"Sweep Stob policies and report the protection-vs-overhead Pareto frontier")
+    Term.(const pareto $ samples $ trees $ folds $ seed $ jobs $ state_dir_arg $ retries_arg $ strict_arg)
+
+(* --- resume / status --------------------------------------------------- *)
+
+(* [resume] rebuilds the interrupted sweep's exact configuration from the
+   journaled manifest and re-runs it against the same store: finished cells
+   replay from the cache, missing ones are computed, and the final artifact
+   is bit-identical to an uninterrupted run.  The per-experiment field
+   names below mirror what each experiment writes via [set_manifest]; the
+   rebuilt run re-asserts its manifest on the same directory, so any
+   divergence (e.g. a corpus regenerated differently) fails loudly instead
+   of mixing sweeps. *)
+let resume state_dir jobs retries strict =
+  let store = Store.open_ state_dir in
+  Fun.protect ~finally:(fun () -> Store.close store) @@ fun () ->
+  match Store.manifest store with
+  | None ->
+      Printf.eprintf "stobctl resume: %s records no sweep (run one with --state-dir first)\n"
+        state_dir;
+      exit 1
+  | Some m -> (
+      let field name =
+        match List.assoc_opt name m.Store.fields with
+        | Some v -> v
+        | None ->
+            Printf.eprintf
+              "stobctl resume: manifest in %s lacks field %S (state dir from an older build?)\n"
+              state_dir name;
+            exit 1
+      in
+      let ints name = int_of_string (field name) in
+      let floats name = float_of_string (field name) in
+      let report = ref None in
+      let on_report r = report := Some r in
+      Printf.eprintf "resuming %s sweep from %s (%d cells)\n%!" m.Store.experiment state_dir
+        m.Store.total;
+      try
+        with_jobs jobs (fun pool ->
+            (match m.Store.experiment with
+            | "table2" ->
+                let config =
+                  {
+                    Table2.default_config with
+                    samples_per_site = ints "samples_per_site";
+                    folds = ints "folds";
+                    forest_trees = ints "trees";
+                    seed = ints "seed";
+                  }
+                in
+                Table2.print (Table2.run ~config ?pool ~store ~retries ~on_report ())
+            | "fig3" ->
+                let cc_name = field "cc" in
+                let config =
+                  {
+                    Fig3.alphas =
+                      List.map int_of_string (String.split_on_char ',' (field "alphas"));
+                    link_gbps = floats "link_gbps";
+                    rtt = floats "rtt";
+                    warmup = floats "warmup";
+                    measure = floats "measure";
+                    cc = Stob_tcp.Netem_eval.cc_of_name cc_name;
+                    cc_name;
+                  }
+                in
+                Fig3.print (Fig3.run ~config ?pool ~store ~retries ~on_report ())
+            | "openworld" ->
+                Openworld.print
+                  (Openworld.run ~samples_per_site:(ints "samples_per_site")
+                     ~background_train_sites:(ints "bg_train_sites")
+                     ~background_test_sites:(ints "bg_test_sites") ~k:(ints "k")
+                     ~trees:(ints "trees") ~seed:(ints "seed") ?pool ~store ~retries ~on_report
+                     ())
+            | "pareto" ->
+                Pareto.print
+                  (Pareto.run ~samples_per_site:(ints "samples_per_site") ~trees:(ints "trees")
+                     ~folds:(ints "folds") ~seed:(ints "seed") ?pool ~store ~retries ~on_report
+                     ())
+            | other ->
+                Printf.eprintf "stobctl resume: don't know how to resume a %S sweep\n" other;
+                exit 1);
+            finish_sweep ~strict !report)
+      with Failure msg ->
+        Printf.eprintf "stobctl resume: %s\n" msg;
+        exit 1)
+
+let resume_cmd =
+  let state_dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR" ~doc:"State directory of the interrupted sweep.")
+  in
+  Cmd.v
+    (cmd_info "resume"
+       ~doc:
+         "Resume an interrupted sweep from its state directory, recomputing only the missing \
+          cells (the merged artifact is bit-identical to an uninterrupted run)")
+    Term.(const resume $ state_dir $ jobs $ retries_arg $ strict_arg)
+
+let status state_dir =
+  match Store.peek state_dir with
+  | None, _ ->
+      Printf.printf "%s: no sweep recorded\n" state_dir;
+      exit 1
+  | Some m, entries ->
+      Printf.printf "sweep: %s (%d cells expected)\n" m.Store.experiment m.Store.total;
+      List.iter (fun (k, v) -> Printf.printf "  %-18s %s\n" k v) m.Store.fields;
+      let done_ =
+        List.length
+          (List.filter (fun (_, _, s) -> match s with Store.Done _ -> true | _ -> false) entries)
+      in
+      let poisoned =
+        List.filter_map
+          (fun (_, label, s) ->
+            match s with Store.Poisoned e -> Some (label, e) | Store.Done _ -> None)
+          entries
+      in
+      Printf.printf "cells: %d done, %d poisoned, %d pending\n" done_ (List.length poisoned)
+        (max 0 (m.Store.total - List.length entries));
+      List.iter (fun (label, e) -> Printf.printf "  poisoned %s: %s\n" label e) poisoned
+
+let status_cmd =
+  let state_dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR" ~doc:"State directory to inspect.")
+  in
+  Cmd.v
+    (cmd_info "status"
+       ~doc:
+         "Report a sweep state directory: its manifest and done/pending/poisoned cell counts.  \
+          Read-only — safe to run while the sweep is still executing.")
+    Term.(const status $ state_dir)
 
 let cca_id flows trees =
   Cca_id.print (Cca_id.run ~flows_per_cca:flows ~trees ())
@@ -479,7 +732,8 @@ let main_cmd =
     [
       gen_dataset_cmd; attack_cmd; load_cmd; policies_cmd; table1_cmd; table2_cmd; fig3_cmd;
       arch_cmd; ablation_stack_cmd; ablation_cca_cmd; ablation_quic_cmd; openworld_cmd;
-      cca_id_cmd; httpos_cmd; importance_cmd; netem_cmd; chaos_cmd;
+      pareto_cmd; resume_cmd; status_cmd; cca_id_cmd; httpos_cmd; importance_cmd; netem_cmd;
+      chaos_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -239,3 +239,34 @@ let check_rtx_oracle t ~capture ~endpoints ~drops ~drained =
            (Printf.sprintf "endpoints count %d retransmissions, capture saw %d marked packets"
               counted captured))
   end
+
+(* Cache-poisoning canary: a sampled subset of a finished sweep's journal
+   records is recomputed from scratch and compared byte-for-byte against
+   the journaled payloads.  Any disagreement means the result cache would
+   have silently served a wrong value on resume — exactly the failure the
+   chaos battery must surface. *)
+let check_store_canary t ~sample ~seed ~entries ~recompute =
+  if sample < 1 then invalid_arg "Monitor.check_store_canary: sample must be >= 1";
+  let entries = Array.of_list entries in
+  let n = Array.length entries in
+  let chosen =
+    if sample >= n then Array.init n Fun.id
+    else Stob_util.Rng.sample_without_replacement (Stob_util.Rng.create seed) sample n
+  in
+  Array.iter
+    (fun i ->
+      let label, payload = entries.(i) in
+      let disagree detail =
+        record t
+          (Violation.make ~invariant:"store-replay-agreement" ~time:(Engine.now t.engine)
+             detail)
+      in
+      match recompute label with
+      | None -> disagree (Printf.sprintf "%s: journaled cell could not be recomputed" label)
+      | Some fresh when not (String.equal fresh payload) ->
+          disagree
+            (Printf.sprintf
+               "%s: journal payload (%d B) differs from fresh recomputation (%d B)" label
+               (String.length payload) (String.length fresh))
+      | Some _ -> ())
+    chosen

@@ -128,3 +128,18 @@ val check_rtx_oracle :
     when [drops = 0] and [drained] — the capture taps the link at
     transmit start, after bottleneck-queue drops, so the counts are only
     comparable on loss-free, fully drained runs. *)
+
+val check_store_canary :
+  t ->
+  sample:int ->
+  seed:int ->
+  entries:(string * string) list ->
+  recompute:(string -> string option) ->
+  unit
+(** Cache-poisoning canary over a sweep's result store: draw [sample]
+    entries (deterministically from [seed]) out of [entries] — the
+    journal's [(label, payload)] records — recompute each via [recompute]
+    and record a [store-replay-agreement] violation for every payload that
+    is not byte-identical (or that [recompute] no longer recognizes).
+    Sampling keeps the canary affordable on large sweeps; [sample >= length
+    entries] checks everything. *)

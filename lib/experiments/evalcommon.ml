@@ -3,6 +3,30 @@ module Dataset = Stob_web.Dataset
 module Features = Stob_kfp.Features
 module Attack = Stob_kfp.Attack
 module Matrix = Stob_ml.Matrix
+module Supervisor = Stob_store.Supervisor
+
+(* The shared cell runner every sweep goes through: supervised execution
+   (retries, poisoning, per-cell Livelock budget surfacing as a poisoned
+   cell) with Marshal as the result codec — Marshal round-trips floats
+   bit-exactly, which is what makes a resumed sweep's output identical to
+   an uninterrupted run's. *)
+let run_cells ?pool ?retries ?inject ?store ~experiment cells =
+  let outcomes =
+    Supervisor.run ?pool ?retries ?inject ?store ~experiment
+      ~encode:(fun v -> Marshal.to_string v [])
+      ~decode:(fun s -> Marshal.from_string s 0)
+      cells
+  in
+  (List.map (fun (o : _ Supervisor.outcome) -> o.Supervisor.result) outcomes,
+   Supervisor.report outcomes)
+
+(* Identifies the corpus a cell was evaluated on, so a cache entry from a
+   different dataset (other sites, other generator) can never be replayed
+   into this sweep.  Hashes the full samples + site names, not just the
+   generation parameters — [run_on]-style entry points accept arbitrary
+   pre-generated corpora. *)
+let dataset_fingerprint (d : Dataset.t) =
+  Digest.to_hex (Digest.string (Marshal.to_string (d.Dataset.samples, d.Dataset.site_names) []))
 
 let accuracy_cv ?(folds = 5) ?(trees = 100) ?(seed = 42) ?(pool = Stob_par.Pool.sequential)
     dataset =

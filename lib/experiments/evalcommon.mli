@@ -1,4 +1,22 @@
-(** Shared evaluation helper: cross-validated k-FP accuracy on a dataset. *)
+(** Shared evaluation helpers: cross-validated k-FP accuracy, and the
+    cell runner the crash-safe sweeps are built on. *)
+
+val run_cells :
+  ?pool:Stob_par.Pool.t ->
+  ?retries:int ->
+  ?inject:(label:string -> attempt:int -> unit) ->
+  ?store:Stob_store.Store.t ->
+  experiment:string ->
+  'a Stob_store.Supervisor.cell list ->
+  ('a, string) result list * Stob_store.Supervisor.report
+(** Run a sweep's cells through {!Stob_store.Supervisor} with the shared
+    Marshal codec (bit-exact round trips, so resume = uninterrupted).
+    Results in cell order; [Error] is a poisoned cell's exception text. *)
+
+val dataset_fingerprint : Stob_web.Dataset.t -> string
+(** Content hash of a corpus (samples + site names), used as a cell config
+    field so cached results can never be replayed against a different
+    dataset. *)
 
 val accuracy_cv :
   ?folds:int -> ?trees:int -> ?seed:int -> ?pool:Stob_par.Pool.t -> Stob_web.Dataset.t ->

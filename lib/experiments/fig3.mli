@@ -23,6 +23,9 @@ type config = {
   warmup : float;
   measure : float;
   cc : Stob_tcp.Cc.factory;
+  cc_name : string;
+      (** Canonical name of [cc] ({!Stob_tcp.Netem_eval.cc_of_name}); keyed
+          into the checkpoint digests, since the factory itself cannot be. *)
 }
 
 val default_config : config
@@ -33,9 +36,21 @@ val throughput_with_policy : config:config -> policy:Stob_core.Policy.t -> float
 (** Measured steady-state goodput (bits/s) of one bulk transfer under the
     given server-side policy. *)
 
-val run : ?config:config -> ?pool:Stob_par.Pool.t -> unit -> point list
-(** [?pool] parallelizes the alpha sweep (one simulation set per alpha);
-    points are identical for any domain count. *)
+val run :
+  ?config:config ->
+  ?pool:Stob_par.Pool.t ->
+  ?retries:int ->
+  ?inject:(label:string -> attempt:int -> unit) ->
+  ?store:Stob_store.Store.t ->
+  ?on_report:(Stob_store.Supervisor.report -> unit) ->
+  unit ->
+  point list
+(** [?pool] parallelizes the alpha sweep (one supervised cell per distinct
+    nonzero alpha, plus one baseline cell); points are identical for any
+    domain count.  With a [?store], finished cells are journaled and a rerun
+    resumes from the cache; a poisoned cell's series render as [nan]
+    (["poisoned"] in {!print}).  See {!Stob_store.Supervisor} for
+    [?retries]/[?inject]/[?on_report]. *)
 
 val print : point list -> unit
 (** Render the two (plus combined) series as aligned columns — the data

@@ -72,17 +72,56 @@ let evaluate ~samples_per_site ~background_train_sites ~background_test_sites ~k
   let frac a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
   { tpr = frac !tp !n_mon; wrong_site = frac !wrong !n_mon; fpr = frac !fp !n_bg }
 
+(* The two arms (undefended / defended) are this experiment's checkpoint
+   cells: each regenerates its corpora and evaluates independently, so a
+   killed run resumes with whichever arm already finished served from the
+   journal. *)
 let run ?(samples_per_site = 30) ?(background_train_sites = 30) ?(background_test_sites = 30)
-    ?(k = 3) ?(trees = 100) ?(seed = 42) ?(quiet = false) () =
-  let eval ?policy () =
-    evaluate ~samples_per_site ~background_train_sites ~background_test_sites ~k ~trees ~seed
-      ~quiet ?policy ()
+    ?(k = 3) ?(trees = 100) ?(seed = 42) ?(quiet = false) ?pool ?retries ?inject ?store
+    ?on_report () =
+  let fields =
+    [ ("samples_per_site", string_of_int samples_per_site);
+      ("bg_train_sites", string_of_int background_train_sites);
+      ("bg_test_sites", string_of_int background_test_sites);
+      ("k", string_of_int k);
+      ("trees", string_of_int trees) ]
   in
-  {
-    k;
-    undefended = eval ();
-    defended = eval ~policy:(Stob_core.Strategies.stack_combined ()) ();
-  }
+  Option.iter
+    (fun s ->
+      Stob_store.Store.set_manifest s ~experiment:"openworld"
+        ~fields:(("seed", string_of_int seed) :: fields)
+        ~total:2)
+    store;
+  let arm_cell name policy =
+    {
+      Stob_store.Supervisor.label = "openworld/" ^ name;
+      config = ("arm", name) :: fields;
+      seed;
+      run =
+        (fun ~attempt:_ ->
+          let m =
+            evaluate ~samples_per_site ~background_train_sites ~background_test_sites ~k ~trees
+              ~seed ~quiet ?policy ()
+          in
+          (m.tpr, m.wrong_site, m.fpr));
+    }
+  in
+  let cells =
+    [ arm_cell "undefended" None;
+      arm_cell "defended" (Some (Stob_core.Strategies.stack_combined ())) ]
+  in
+  let results, report =
+    Evalcommon.run_cells ?pool ?retries ?inject ?store ~experiment:"openworld" cells
+  in
+  Option.iter (fun f -> f report) on_report;
+  let metrics_of = function
+    | Ok (tpr, wrong_site, fpr) -> { tpr; wrong_site; fpr }
+    | Error _ -> { tpr = Float.nan; wrong_site = Float.nan; fpr = Float.nan }
+  in
+  match results with
+  | [ undefended; defended ] ->
+      { k; undefended = metrics_of undefended; defended = metrics_of defended }
+  | _ -> assert false
 
 let print r =
   Printf.printf "Open-world evaluation (k = %d, unseen background sites in test)\n" r.k;

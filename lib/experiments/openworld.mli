@@ -28,11 +28,21 @@ val run :
   ?trees:int ->
   ?seed:int ->
   ?quiet:bool ->
+  ?pool:Stob_par.Pool.t ->
+  ?retries:int ->
+  ?inject:(label:string -> attempt:int -> unit) ->
+  ?store:Stob_store.Store.t ->
+  ?on_report:(Stob_store.Supervisor.report -> unit) ->
   unit ->
   result
 (** Defaults: 30 visits per monitored site (70/30 train/test split), 30
     training background sites (2 visits each), 30 {e unseen} test background
     sites (1 visit each), k = 3, 100 trees.  [defended] regenerates both
-    corpora with the Stob combined (split+delay) policy in-stack. *)
+    corpora with the Stob combined (split+delay) policy in-stack.
+
+    The two arms run as supervised checkpoint cells: [?pool] computes them
+    concurrently, [?store] journals each arm for crash-safe resume, and a
+    poisoned arm's metrics render as [nan].  See {!Stob_store.Supervisor}
+    for [?retries]/[?inject]/[?on_report]. *)
 
 val print : result -> unit

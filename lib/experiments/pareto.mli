@@ -22,11 +22,22 @@ val run :
   ?folds:int ->
   ?seed:int ->
   ?quiet:bool ->
+  ?pool:Stob_par.Pool.t ->
+  ?retries:int ->
+  ?inject:(label:string -> attempt:int -> unit) ->
+  ?store:Stob_store.Store.t ->
+  ?on_report:(Stob_store.Supervisor.report -> unit) ->
   unit ->
   point list
 (** Defaults: 30 visits/site, 100 trees, 3 folds; sweeps thresholds
     {600, 900, 1200} x delay ranges {none, 10-30 %, 30-60 %}.
     Countermeasures are applied trace-level (Section 3 style) so all points
-    share one generated corpus. *)
+    share one generated corpus.
+
+    Each sweep point is a supervised checkpoint cell ([?pool] runs them
+    concurrently, [?store] makes the sweep crash-safe/resumable).  A
+    poisoned point carries [nan] measurements and is excluded from the
+    Pareto frontier.  See {!Stob_store.Supervisor} for
+    [?retries]/[?inject]/[?on_report]. *)
 
 val print : point list -> unit

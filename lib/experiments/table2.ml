@@ -79,29 +79,74 @@ let evaluate_variant ?(pool = Stob_par.Pool.sequential) ~config ~dataset ~varian
   { mean; std }
 
 let prefixes = [ ("15", Some 15); ("30", Some 30); ("45", Some 45); ("All", None) ]
+let variants = [ Original; Split; Delayed; Combined ]
 
-let run_on ?(config = default_config) ?pool dataset =
+(* The sweep decomposes into 16 idempotent cells (prefix x variant), each a
+   pure function of (dataset, config, seed) — the unit of checkpointing,
+   caching, and retry.  Parallelism moves from folds-within-a-variant to
+   whole cells; every fold evaluation is deterministic, so the table is
+   bit-identical either way. *)
+let run_on ?(config = default_config) ?pool ?retries ?inject ?store ?on_report dataset =
   let clean = Dataset.sanitize dataset in
-  let rows =
-    List.map
-      (fun (n_label, first_n) ->
-        let eval variant =
+  let fingerprint = Evalcommon.dataset_fingerprint clean in
+  Option.iter
+    (fun s ->
+      Stob_store.Store.set_manifest s ~experiment:"table2"
+        ~fields:
+          [ ("dataset", fingerprint);
+            ("samples_per_site", string_of_int config.samples_per_site);
+            ("folds", string_of_int config.folds);
+            ("trees", string_of_int config.forest_trees);
+            ("seed", string_of_int config.seed) ]
+        ~total:(List.length prefixes * List.length variants))
+    store;
+  let cell_of (n_label, first_n) variant =
+    {
+      Stob_store.Supervisor.label =
+        Printf.sprintf "table2/N=%s/%s" n_label (variant_name variant);
+      config =
+        [ ("dataset", fingerprint);
+          ("prefix", n_label);
+          ("variant", variant_name variant);
+          ("folds", string_of_int config.folds);
+          ("trees", string_of_int config.forest_trees) ];
+      seed = config.seed;
+      run =
+        (fun ~attempt:_ ->
           if not config.quiet then
             Printf.eprintf "table2: N=%s %s...\n%!" n_label (variant_name variant);
-          evaluate_variant ?pool ~config ~dataset:clean ~variant ~first_n ()
-        in
+          let c = evaluate_variant ~config ~dataset:clean ~variant ~first_n () in
+          (c.mean, c.std));
+    }
+  in
+  let cells = List.concat_map (fun p -> List.map (cell_of p) variants) prefixes in
+  let results, report =
+    Evalcommon.run_cells ?pool ?retries ?inject ?store ~experiment:"table2" cells
+  in
+  Option.iter (fun f -> f report) on_report;
+  let results = Array.of_list results in
+  let cell_at i =
+    match results.(i) with
+    | Ok (mean, std) -> { mean; std }
+    | Error _ -> { mean = Float.nan; std = Float.nan }
+  in
+  let width = List.length variants in
+  let rows =
+    List.mapi
+      (fun pi (n_label, _) ->
+        let base = pi * width in
         {
           n_label;
-          original = eval Original;
-          split = eval Split;
-          delayed = eval Delayed;
-          combined = eval Combined;
+          original = cell_at base;
+          split = cell_at (base + 1);
+          delayed = cell_at (base + 2);
+          combined = cell_at (base + 3);
         })
       prefixes
   in
   { rows; per_site = Dataset.per_site_counts clean }
 
-let run ?(config = default_config) ?pool () =
+let run ?(config = default_config) ?pool ?retries ?inject ?store ?on_report () =
   let progress =
     if config.quiet then None
     else
@@ -111,10 +156,12 @@ let run ?(config = default_config) ?pool () =
     Dataset.generate ~samples_per_site:config.samples_per_site ~seed:config.seed ?progress ?pool
       ()
   in
-  run_on ~config ?pool dataset
+  run_on ~config ?pool ?retries ?inject ?store ?on_report dataset
 
 let print result =
-  let pp_cell c = Printf.sprintf "%.3f +/- %.3f" c.mean c.std in
+  let pp_cell c =
+    if Float.is_nan c.mean then "poisoned" else Printf.sprintf "%.3f +/- %.3f" c.mean c.std
+  in
   Printf.printf "Table 2: k-FP Random Forest accuracy rates (closed world, 9 sites)\n";
   Printf.printf "%-5s %-17s %-17s %-17s %-17s\n" "N" "Original" "Split" "Delayed" "Combined";
   List.iter

@@ -21,6 +21,8 @@ val default_config : config
 (** 100 samples/site, 5 folds, 100 trees, seed 42. *)
 
 type cell = { mean : float; std : float }
+(** A poisoned sweep cell (see {!Stob_store.Supervisor}) is reported as
+    [nan +/- nan] and rendered as ["poisoned"] by {!print}. *)
 
 type row = { n_label : string; original : cell; split : cell; delayed : cell; combined : cell }
 
@@ -29,11 +31,31 @@ type result = {
   per_site : (string * int) list;  (** Surviving samples per site. *)
 }
 
-val run : ?config:config -> ?pool:Stob_par.Pool.t -> unit -> result
-(** [?pool] parallelizes dataset generation (per visit) and cross-validation
-    (per fold); the table is identical for any domain count. *)
+val run :
+  ?config:config ->
+  ?pool:Stob_par.Pool.t ->
+  ?retries:int ->
+  ?inject:(label:string -> attempt:int -> unit) ->
+  ?store:Stob_store.Store.t ->
+  ?on_report:(Stob_store.Supervisor.report -> unit) ->
+  unit ->
+  result
+(** [?pool] parallelizes dataset generation (per visit) and the sweep (per
+    cell); the table is identical for any domain count.  The sweep runs as
+    16 supervised cells ({!Stob_store.Supervisor}): with a [?store] each
+    finished cell is journaled durably and a rerun resumes from the cache;
+    [?retries]/[?inject] control the retry policy and the chaos fault hook;
+    [?on_report] receives the supervisor's cached/retried/poisoned tallies. *)
 
-val run_on : ?config:config -> ?pool:Stob_par.Pool.t -> Stob_web.Dataset.t -> result
+val run_on :
+  ?config:config ->
+  ?pool:Stob_par.Pool.t ->
+  ?retries:int ->
+  ?inject:(label:string -> attempt:int -> unit) ->
+  ?store:Stob_store.Store.t ->
+  ?on_report:(Stob_store.Supervisor.report -> unit) ->
+  Stob_web.Dataset.t ->
+  result
 (** Same evaluation on a pre-generated (unsanitized) dataset — lets callers
     reuse one corpus across experiments. *)
 

@@ -77,9 +77,9 @@ let of_csv text =
   |> List.map parse_line
   |> Array.of_list
 
-let save path t =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_csv t))
+(* Atomic (write-to-temp then rename): a crash mid-save can leave a stray
+   temp file but never a truncated trace under the target name. *)
+let save path t = Stob_store.Atomic_file.write path (to_csv t)
 
 let load path =
   let ic = open_in path in

@@ -47,10 +47,22 @@ val with_pool : ?domains:int -> (t -> 'a) -> 'a
 (** [with_pool ~domains f] runs [f] with a fresh pool and shuts it down
     afterwards, whether [f] returns or raises. *)
 
-val map : t -> ('a -> 'b) -> 'a array -> 'b array
+val map : ?on_done:(int -> 'b -> unit) -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map pool f input] is [Array.map f input], computed by up to
     [domains pool] domains.  Result order, and the choice of which error
-    to re-raise, are deterministic (see the contract above). *)
+    to re-raise, are deterministic (see the contract above).
+
+    [on_done i r] is a completion hook: it fires exactly once per
+    successful task, in {e strictly increasing index order}, serialized
+    under an internal lock — whatever the domain count, the callback
+    sequence is identical to the sequential one.  This is what lets a
+    caller journal results durably {e as they complete} while keeping the
+    journal bytes jobs-invariant.  The hook may run on any domain; it must
+    not call back into the same pool.  If task [i] fails, callbacks stop
+    at [i] (indices beyond it are never reported) and the error is
+    re-raised after the batch drains, as usual; if the callback itself
+    raises, later callbacks are suppressed and its error is re-raised
+    after the batch (task errors take precedence). *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map] for lists. *)

@@ -1,0 +1,20 @@
+(* The per-process counter keeps concurrent writers (worker domains
+   journaling side artifacts) from colliding on the temporary name; the
+   pid keeps concurrent processes apart. *)
+let counter = Atomic.make 0
+
+let with_tmp path k =
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) (Atomic.fetch_and_add counter 1)
+  in
+  let oc = open_out_bin tmp in
+  (match k oc with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Sys.rename tmp path
+
+let write path contents = with_tmp path (fun oc -> output_string oc contents)
+let write_lines path emit = with_tmp path emit

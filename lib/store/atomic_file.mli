@@ -1,0 +1,12 @@
+(** Crash-safe whole-file writes: the contents land under a temporary name
+    in the target's directory and are [rename]d into place, so readers (and
+    a crash at any instant) see either the old file or the complete new one
+    — never a torn prefix. *)
+
+val write : string -> string -> unit
+(** [write path contents] atomically replaces [path] with [contents].
+    On any error the temporary file is removed and [path] is untouched. *)
+
+val write_lines : string -> (out_channel -> unit) -> unit
+(** [write_lines path emit] is [write] for producers that want a channel:
+    [emit] writes the body, then the file is renamed into place. *)

@@ -1,0 +1,19 @@
+let digest ~experiment ~config ~seed =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) config in
+  let rec check_dup = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg (Printf.sprintf "Stob_store.Cell.digest: duplicate config field %S" a);
+        check_dup rest
+    | _ -> ()
+  in
+  check_dup sorted;
+  (* Length-prefixing makes the serialization injective whatever bytes the
+     values contain — no escaping rules to get wrong. *)
+  let canon =
+    String.concat ";"
+      (List.map
+         (fun (k, v) -> Printf.sprintf "%d:%s=%d:%s" (String.length k) k (String.length v) v)
+         sorted)
+  in
+  Digest.to_hex (Digest.string (Printf.sprintf "stob-cell-v1|%s|%d|%s" experiment seed canon))

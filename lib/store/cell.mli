@@ -1,0 +1,18 @@
+(** Stable cell identity.
+
+    A sweep is decomposed into deterministic, idempotent {e cells} (one
+    Table 2 variant, one Figure 3 alpha point, one grid point of the
+    open-world / Pareto sweeps).  A cell is addressed by a digest of
+    [(experiment id, canonicalized config, seed)]: the config is a flat
+    [(field, value)] list that is {e sorted by field name} and
+    length-prefixed before hashing, so the digest does not depend on field
+    order or on any separator characters appearing inside values.
+
+    What invalidates a cache entry is exactly what changes the digest: the
+    experiment id, the seed, or any config field's name or value.  Code
+    changes do {e not} — after changing an algorithm, wipe the state dir
+    (or the `store-replay-agreement` canary will catch the drift). *)
+
+val digest : experiment:string -> config:(string * string) list -> seed:int -> string
+(** Hex digest (stable across runs, processes and field reordering).
+    Raises [Invalid_argument] on duplicate field names. *)

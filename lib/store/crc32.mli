@@ -1,0 +1,7 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial [0xEDB88320]) — the checksum
+    that frames every journal record, so a torn or bit-flipped tail is
+    detected on recovery instead of being replayed as a result. *)
+
+val string : string -> int32
+(** Checksum of the whole string (initial value 0, final complement —
+    the same convention as zlib's [crc32]). *)

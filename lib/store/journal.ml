@@ -1,0 +1,85 @@
+type t = { path : string; mutable oc : out_channel option; mu : Mutex.t }
+
+exception Corrupt of string
+
+let magic = "STOBJRNL1\n"
+
+(* A frame length beyond this is treated as a torn/garbage tail rather
+   than an instruction to allocate gigabytes. *)
+let max_record = 1 lsl 28
+
+let frame payload =
+  let len = String.length payload in
+  let b = Buffer.create (len + 8) in
+  let hdr = Bytes.create 8 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int len);
+  Bytes.set_int32_be hdr 4 (Crc32.string payload);
+  Buffer.add_bytes b hdr;
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* Longest valid prefix of [path]: the replayed payloads plus the byte
+   offset where validity ends ([None] when the file does not exist). *)
+let recover path =
+  if not (Sys.file_exists path) then ([], None)
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let size = in_channel_length ic in
+        let ml = String.length magic in
+        if size < ml then ([], Some 0) (* torn header: recover to empty *)
+        else if really_input_string ic ml <> magic then
+          raise (Corrupt (path ^ ": not a stob journal (bad magic)"))
+        else begin
+          let records = ref [] in
+          let pos = ref ml in
+          (try
+             while !pos + 8 <= size do
+               let hdr = Bytes.of_string (really_input_string ic 8) in
+               let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+               let crc = Bytes.get_int32_be hdr 4 in
+               if len < 0 || len > max_record || !pos + 8 + len > size then raise Exit;
+               let payload = really_input_string ic len in
+               if Crc32.string payload <> crc then raise Exit;
+               records := payload :: !records;
+               pos := !pos + 8 + len
+             done
+           with Exit -> ());
+          (List.rev !records, Some !pos)
+        end)
+  end
+
+let read path = fst (recover path)
+
+let open_ path =
+  let records, valid = recover path in
+  (match valid with
+  | Some v when v < (Unix.stat path).Unix.st_size -> Unix.truncate path v
+  | Some _ | None -> ());
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  (match valid with
+  | None | Some 0 ->
+      output_string oc magic;
+      flush oc
+  | Some _ -> ());
+  ({ path; oc = Some oc; mu = Mutex.create () }, records)
+
+let append t payload =
+  Mutex.protect t.mu (fun () ->
+      match t.oc with
+      | None -> invalid_arg "Journal.append: closed journal"
+      | Some oc ->
+          output_string oc (frame payload);
+          flush oc)
+
+let close t =
+  Mutex.protect t.mu (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+          t.oc <- None;
+          close_out oc)
+
+let path t = t.path

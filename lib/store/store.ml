@@ -1,0 +1,110 @@
+type status = Done of string | Poisoned of string
+
+type manifest = { experiment : string; fields : (string * string) list; total : int }
+
+(* The journal's record payloads: marshaled values of this (stable) type.
+   Framing integrity is the journal's job (length+CRC); this type only has
+   to stay in sync within one build of the binary — the digest rules
+   (Cell.digest) are what survive across builds. *)
+type record = Manifest of manifest | Cell of { key : string; label : string; status : status }
+
+type t = {
+  dir : string;
+  journal : Journal.t;
+  cells : (string, string * status) Hashtbl.t; (* key -> (label, status) *)
+  mutable order : string list; (* keys, newest first *)
+  mutable manifest : manifest option;
+  mu : Mutex.t;
+}
+
+let journal_file dir = Filename.concat dir "journal.stob"
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Fold replayed payloads into (manifest, cells, keys newest-first). *)
+let replay ~file payloads =
+  let manifest = ref None in
+  let cells = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun p ->
+      let r =
+        try (Marshal.from_string p 0 : record)
+        with e ->
+          raise
+            (Journal.Corrupt
+               (Printf.sprintf "%s: record does not deserialize (%s) — stale state dir from \
+                                another build? remove it and rerun"
+                  file (Printexc.to_string e)))
+      in
+      match r with
+      | Manifest m -> manifest := Some m
+      | Cell { key; label; status } ->
+          if not (Hashtbl.mem cells key) then order := key :: !order;
+          Hashtbl.replace cells key (label, status))
+    payloads;
+  (!manifest, cells, !order)
+
+let open_ dir =
+  mkdir_p dir;
+  let journal, payloads = Journal.open_ (journal_file dir) in
+  let manifest, cells, order = replay ~file:(journal_file dir) payloads in
+  { dir; journal; cells; order; manifest; mu = Mutex.create () }
+
+let peek dir =
+  let file = journal_file dir in
+  let manifest, cells, order = replay ~file (Journal.read file) in
+  let entries =
+    List.rev_map
+      (fun key ->
+        let label, status = Hashtbl.find cells key in
+        (key, label, status))
+      order
+  in
+  (manifest, entries)
+
+let close t = Journal.close t.journal
+let dir t = t.dir
+let manifest t = t.manifest
+
+let set_manifest t ~experiment ~fields ~total =
+  let m = { experiment; fields = List.sort compare fields; total } in
+  Mutex.protect t.mu (fun () ->
+      match t.manifest with
+      | Some m' when m' = m -> ()
+      | Some m' ->
+          failwith
+            (Printf.sprintf
+               "Stob_store: state dir %s belongs to run %s (%d cells), refusing to reuse it for \
+                %s (%d cells) — use a fresh --state-dir per sweep"
+               t.dir m'.experiment m'.total experiment total)
+      | None ->
+          t.manifest <- Some m;
+          Journal.append t.journal (Marshal.to_string (Manifest m) []))
+
+let find t key =
+  Mutex.protect t.mu (fun () -> Option.map snd (Hashtbl.find_opt t.cells key))
+
+let record t ~key ~label status =
+  Mutex.protect t.mu (fun () ->
+      if not (Hashtbl.mem t.cells key) then t.order <- key :: t.order;
+      Hashtbl.replace t.cells key (label, status);
+      Journal.append t.journal (Marshal.to_string (Cell { key; label; status }) []))
+
+let entries t =
+  Mutex.protect t.mu (fun () ->
+      List.rev_map
+        (fun key ->
+          let label, status = Hashtbl.find t.cells key in
+          (key, label, status))
+        t.order)
+
+let counts t ~done_ ~poisoned =
+  List.iter
+    (fun (_, _, status) ->
+      match status with Done _ -> incr done_ | Poisoned _ -> incr poisoned)
+    (entries t)

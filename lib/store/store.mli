@@ -1,0 +1,62 @@
+(** Durable run state: a state directory holding one write-ahead journal
+    that doubles as a content-addressed result cache.
+
+    The journal records a {e manifest} (which sweep this directory belongs
+    to) followed by one record per finished cell — either its serialized
+    result ([Done]) or the exception that poisoned it ([Poisoned]).  A
+    killed sweep resumes by replaying the journal: cells already recorded
+    are served from the cache, only missing cells are recomputed, and the
+    merged output is bit-identical to an uninterrupted run (the payloads
+    round-trip results exactly).
+
+    Poisoned cells are cached like results: a resume reports them again
+    rather than silently retrying — deterministic failures stay failed
+    until the operator removes the state directory. *)
+
+type status =
+  | Done of string  (** Serialized cell result. *)
+  | Poisoned of string  (** [Printexc.to_string] of the final attempt's exception. *)
+
+type manifest = { experiment : string; fields : (string * string) list; total : int }
+(** Which run owns this state dir: experiment id, the run-level parameters
+    (canonical string fields, sorted), and the expected cell count. *)
+
+type t
+
+val open_ : string -> t
+(** Open (creating the directory and journal as needed) and replay.  Torn
+    journal tails are truncated; raises {!Journal.Corrupt} if the file is
+    not a journal. *)
+
+val close : t -> unit
+val dir : t -> string
+
+val journal_file : string -> string
+(** The journal's path inside a state directory (for polling/tests). *)
+
+val manifest : t -> manifest option
+
+val set_manifest : t -> experiment:string -> fields:(string * string) list -> total:int -> unit
+(** Record the run identity.  Idempotent when it matches the replayed
+    manifest; raises [Failure] when the directory already belongs to a
+    different run — resuming with changed parameters must not silently mix
+    two sweeps' cells. *)
+
+val find : t -> string -> status option
+(** Cached status of a cell digest, if any. *)
+
+val record : t -> key:string -> label:string -> status -> unit
+(** Append one cell record (journal write + in-memory index).  Thread-safe;
+    callers serialize ordering via {!Stob_par.Pool.map}[ ~on_done]. *)
+
+val entries : t -> (string * string * status) list
+(** All cell records as [(key, label, status)], in first-recorded order. *)
+
+val peek : string -> manifest option * (string * string * status) list
+(** Read-only replay of a state directory — same result as {!open_} +
+    {!manifest}/{!entries} but never truncates, creates or locks anything,
+    so it is safe against a journal another process is appending to
+    (status/progress inspection).  A missing directory reads as
+    [(None, [])]. *)
+
+val counts : t -> done_:int ref -> poisoned:int ref -> unit

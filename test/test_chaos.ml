@@ -262,6 +262,46 @@ let test_chaos_shrink_deterministic () =
   | None, None -> Alcotest.fail "expected the full hook-exception plan to trip the breaker"
   | _ -> Alcotest.fail "shrink not deterministic: one run minimised, the other did not"
 
+(* --- Store canary -------------------------------------------------------- *)
+
+let canary_monitor () = Stob_check.Monitor.create (Stob_sim.Engine.create ())
+
+let canary_entries = [ ("a", "pay-a"); ("b", "pay-b"); ("c", "pay-c") ]
+
+let test_store_canary_clean () =
+  let m = canary_monitor () in
+  Stob_check.Monitor.check_store_canary m ~sample:10 ~seed:1 ~entries:canary_entries
+    ~recompute:(fun label -> List.assoc_opt label canary_entries);
+  Alcotest.(check int) "agreeing recompute yields no violations" 0
+    (Stob_check.Monitor.total m);
+  expect_invalid_arg "sample must be positive" (fun () ->
+      Stob_check.Monitor.check_store_canary m ~sample:0 ~seed:1 ~entries:canary_entries
+        ~recompute:(fun _ -> None))
+
+let test_store_canary_detects_poisoning () =
+  (* Checking everything: a silently flipped payload and a cell the code no
+     longer recognizes must each record a store-replay-agreement violation. *)
+  let m = canary_monitor () in
+  Stob_check.Monitor.check_store_canary m ~sample:10 ~seed:1 ~entries:canary_entries
+    ~recompute:(fun label ->
+      if label = "b" then Some "pay-B" else if label = "c" then None else Some ("pay-" ^ label));
+  Alcotest.(check (list (pair string int))) "both disagreements recorded"
+    [ ("store-replay-agreement", 2) ]
+    (Stob_check.Monitor.counts m)
+
+let test_store_canary_sampling_deterministic () =
+  let run () =
+    let m = canary_monitor () in
+    (* Every payload disagrees, so the violation details record exactly
+       which entries the sampler chose. *)
+    Stob_check.Monitor.check_store_canary m ~sample:2 ~seed:7 ~entries:canary_entries
+      ~recompute:(fun _ -> Some "wrong");
+    List.map Stob_check.Violation.to_string (Stob_check.Monitor.violations m)
+  in
+  let first = run () in
+  Alcotest.(check int) "sample size respected" 2 (List.length first);
+  Alcotest.(check (list string)) "same seed samples the same entries" first (run ())
+
 let suite =
   [
     ( "chaos.guard",
@@ -288,5 +328,11 @@ let suite =
       [
         Alcotest.test_case "sweep jobs-invariant" `Quick test_chaos_sweep_jobs_invariant;
         Alcotest.test_case "shrink deterministic" `Quick test_chaos_shrink_deterministic;
+      ] );
+    ( "chaos.canary",
+      [
+        Alcotest.test_case "clean store passes" `Quick test_store_canary_clean;
+        Alcotest.test_case "poisoned payloads detected" `Quick test_store_canary_detects_poisoning;
+        Alcotest.test_case "sampling deterministic" `Quick test_store_canary_sampling_deterministic;
       ] );
   ]

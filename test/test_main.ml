@@ -1,5 +1,12 @@
-(* Aggregates all suites into one alcotest binary (`dune runtest`). *)
+(* Aggregates all suites into one alcotest binary (`dune runtest`).
+
+   `--store-child <dir>` re-enters this binary as the sacrificial child of
+   the kill-and-resume test (see Test_store): it journals a sweep into
+   [dir] and expects to be SIGKILLed mid-run. *)
 
 let () =
+  match Sys.argv with
+  | [| _; "--store-child"; dir |] -> Test_store.child_main dir
+  | _ ->
   Alcotest.run "stob"
-    (List.concat [ Test_util.suite; Test_par.suite; Test_sim.suite; Test_net.suite; Test_tcp.suite; Test_web.suite; Test_core.suite; Test_ml.suite; Test_kfp.suite; Test_defense.suite; Test_quic.suite; Test_nn.suite; Test_experiments.suite; Test_chaos.suite ])
+    (List.concat [ Test_util.suite; Test_par.suite; Test_sim.suite; Test_net.suite; Test_tcp.suite; Test_web.suite; Test_core.suite; Test_ml.suite; Test_kfp.suite; Test_defense.suite; Test_quic.suite; Test_nn.suite; Test_experiments.suite; Test_store.suite; Test_chaos.suite ])

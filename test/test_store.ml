@@ -1,0 +1,467 @@
+(* Tests for the crash-safe experiment store: journal framing and torn-tail
+   recovery, digest stability, atomic file writes, supervisor
+   cache/retry/poison semantics, jobs-invariant journal bytes, and the
+   kill-and-resume integration test (a forked Table 2 sweep SIGKILLed
+   mid-journal must resume bit-identically). *)
+
+module Journal = Stob_store.Journal
+module Store = Stob_store.Store
+module Cell = Stob_store.Cell
+module Atomic_file = Stob_store.Atomic_file
+module Sv = Stob_store.Supervisor
+module Pool = Stob_par.Pool
+module Table2 = Stob_experiments.Table2
+module Dataset = Stob_web.Dataset
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stob-test-store.%d.%d" (Unix.getpid ()) !dir_counter)
+  in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+  Unix.mkdir dir 0o755;
+  dir
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let append_bytes path s =
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc s;
+  close_out oc
+
+(* --- journal framing and recovery -------------------------------------- *)
+
+let test_journal_roundtrip () =
+  let path = Filename.concat (fresh_dir ()) "j.stob" in
+  let j, rs = Journal.open_ path in
+  Alcotest.(check (list string)) "fresh journal is empty" [] rs;
+  Journal.append j "alpha";
+  Journal.append j "";
+  Journal.append j (String.make 10_000 'x');
+  Journal.close j;
+  let j, rs = Journal.open_ path in
+  Alcotest.(check (list string)) "records replay in order"
+    [ "alpha"; ""; String.make 10_000 'x' ]
+    rs;
+  Journal.close j
+
+let test_journal_torn_tail () =
+  let path = Filename.concat (fresh_dir ()) "j.stob" in
+  let j, _ = Journal.open_ path in
+  Journal.append j "alpha";
+  Journal.append j "beta";
+  Journal.close j;
+  (* A torn tail: a frame header promising 16 payload bytes that never made
+     it to disk. *)
+  append_bytes path "\x00\x00\x00\x10\xde\xad\xbe\xef\x01\x02";
+  let size_torn = (Unix.stat path).Unix.st_size in
+  (* Read-only replay sees the valid prefix and leaves the file alone. *)
+  Alcotest.(check (list string)) "read skips the torn tail" [ "alpha"; "beta" ]
+    (Journal.read path);
+  Alcotest.(check int) "read does not truncate" size_torn (Unix.stat path).Unix.st_size;
+  (* Opening recovers: truncates the tear and appends after it. *)
+  let j, rs = Journal.open_ path in
+  Alcotest.(check (list string)) "open recovers the valid prefix" [ "alpha"; "beta" ] rs;
+  Alcotest.(check bool) "torn tail was truncated" true
+    ((Unix.stat path).Unix.st_size < size_torn);
+  Journal.append j "gamma";
+  Journal.close j;
+  Alcotest.(check (list string)) "append lands after the cut" [ "alpha"; "beta"; "gamma" ]
+    (Journal.read path)
+
+let test_journal_crc () =
+  let path = Filename.concat (fresh_dir ()) "j.stob" in
+  let j, _ = Journal.open_ path in
+  Journal.append j "alpha";
+  Journal.append j "beta";
+  Journal.close j;
+  (* Flip one byte inside "beta"'s payload: its CRC disagrees, so recovery
+     must stop after "alpha" — a half-lie is worse than a short journal. *)
+  let bytes = Bytes.of_string (read_file path) in
+  let beta_payload = String.length Journal.magic + 8 + String.length "alpha" + 8 in
+  Bytes.set bytes beta_payload 'X';
+  write_file path (Bytes.to_string bytes);
+  Alcotest.(check (list string)) "corrupt record cuts the replay" [ "alpha" ]
+    (Journal.read path)
+
+let test_journal_bad_magic () =
+  let path = Filename.concat (fresh_dir ()) "j.stob" in
+  write_file path "this is no journal";
+  (match Journal.open_ path with
+  | exception Journal.Corrupt _ -> ()
+  | j, _ ->
+      Journal.close j;
+      Alcotest.fail "expected Corrupt on bad magic");
+  match Journal.read path with
+  | exception Journal.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt on bad magic (read)"
+
+(* --- cell digests ------------------------------------------------------- *)
+
+let test_digest_stability () =
+  let d1 =
+    Cell.digest ~experiment:"e" ~config:[ ("alpha", "4"); ("beta", "x") ] ~seed:42
+  in
+  let d2 =
+    Cell.digest ~experiment:"e" ~config:[ ("beta", "x"); ("alpha", "4") ] ~seed:42
+  in
+  Alcotest.(check string) "field order is canonicalized away" d1 d2;
+  let differs what d' = Alcotest.(check bool) what true (d' <> d1) in
+  differs "value changes the digest"
+    (Cell.digest ~experiment:"e" ~config:[ ("alpha", "5"); ("beta", "x") ] ~seed:42);
+  differs "seed changes the digest"
+    (Cell.digest ~experiment:"e" ~config:[ ("alpha", "4"); ("beta", "x") ] ~seed:43);
+  differs "experiment changes the digest"
+    (Cell.digest ~experiment:"f" ~config:[ ("alpha", "4"); ("beta", "x") ] ~seed:42);
+  (* Length-prefixed canonicalization: these two configs would collide under
+     naive string concatenation. *)
+  Alcotest.(check bool) "no concatenation ambiguity" true
+    (Cell.digest ~experiment:"e" ~config:[ ("a", "bc") ] ~seed:0
+    <> Cell.digest ~experiment:"e" ~config:[ ("ab", "c") ] ~seed:0);
+  match Cell.digest ~experiment:"e" ~config:[ ("a", "1"); ("a", "2") ] ~seed:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate config field must be rejected"
+
+(* --- atomic file writes ------------------------------------------------- *)
+
+let test_atomic_file () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "out.txt" in
+  Atomic_file.write path "hello";
+  Alcotest.(check string) "contents round-trip" "hello" (read_file path);
+  Atomic_file.write path "replaced";
+  Alcotest.(check string) "overwrite replaces atomically" "replaced" (read_file path);
+  (* A writer that dies mid-emit must leave the previous contents intact
+     and no temp litter behind. *)
+  (match Atomic_file.write_lines path (fun oc ->
+       output_string oc "partial";
+       failwith "boom")
+   with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "expected the emit exception to propagate");
+  Alcotest.(check string) "failed write leaves the old contents" "replaced" (read_file path);
+  Alcotest.(check (list string)) "no temp files left" [ "out.txt" ]
+    (Array.to_list (Sys.readdir dir))
+
+(* --- supervisor: cache, retries, poisoning ------------------------------ *)
+
+let encode v = Marshal.to_string (v : int) []
+let decode s : int = Marshal.from_string s 0
+
+let int_cell ?(seed = 7) label v =
+  { Sv.label; config = [ ("which", label) ]; seed; run = (fun ~attempt:_ -> v) }
+
+let run_cells ?pool ?retries ?inject ?store cells =
+  Sv.run ?pool ?retries ?inject ?store ~experiment:"test" ~encode ~decode cells
+
+let test_supervisor_cache () =
+  let dir = fresh_dir () in
+  let computed = ref 0 in
+  let cells =
+    List.map
+      (fun i ->
+        {
+          Sv.label = Printf.sprintf "c%d" i;
+          config = [ ("i", string_of_int i) ];
+          seed = 7;
+          run =
+            (fun ~attempt:_ ->
+              incr computed;
+              i * i);
+        })
+      [ 0; 1; 2; 3 ]
+  in
+  let store = Store.open_ dir in
+  let out = run_cells ~store cells in
+  Store.close store;
+  Alcotest.(check (list int)) "fresh run computes" [ 0; 1; 4; 9 ]
+    (List.map (fun (o : _ Sv.outcome) -> Result.get_ok o.Sv.result) out);
+  Alcotest.(check int) "every cell ran" 4 !computed;
+  Alcotest.(check bool) "nothing cached on the fresh run" true
+    (List.for_all (fun (o : _ Sv.outcome) -> not o.Sv.cached) out);
+  let store = Store.open_ dir in
+  let out = run_cells ~store cells in
+  Store.close store;
+  Alcotest.(check (list int)) "cached run returns the same results" [ 0; 1; 4; 9 ]
+    (List.map (fun (o : _ Sv.outcome) -> Result.get_ok o.Sv.result) out);
+  Alcotest.(check int) "no cell re-ran" 4 !computed;
+  let r = Sv.report out in
+  Alcotest.(check int) "all served from cache" 4 r.Sv.cached
+
+let test_supervisor_poison_and_retry () =
+  let dir = fresh_dir () in
+  let attempts = ref [] in
+  let flaky threshold =
+    {
+      Sv.label = "flaky";
+      config = [ ("which", "flaky") ];
+      seed = 7;
+      run =
+        (fun ~attempt ->
+          attempts := attempt :: !attempts;
+          if attempt < threshold then failwith "transient" else 42);
+    }
+  in
+  (* No retries: the cell poisons, the sweep still completes and the
+     failure is journaled. *)
+  let store = Store.open_ dir in
+  let out = run_cells ~store [ int_cell "ok" 1; flaky 10 ] in
+  Store.close store;
+  (match List.map (fun (o : _ Sv.outcome) -> o.Sv.result) out with
+  | [ Ok 1; Error msg ] ->
+      Alcotest.(check bool) "poison message carries the exception" true
+        (contains ~sub:"transient" msg)
+  | _ -> Alcotest.fail "expected [Ok 1; Error _]");
+  let r = Sv.report out in
+  Alcotest.(check int) "one poisoned" 1 (List.length r.Sv.poisoned);
+  (* Resume: the poisoned record replays from the journal — deterministic
+     failures stay failed rather than burning compute again. *)
+  let before = List.length !attempts in
+  let store = Store.open_ dir in
+  let out = run_cells ~store [ int_cell "ok" 1; flaky 10 ] in
+  Store.close store;
+  Alcotest.(check int) "poisoned cell is not retried on resume" before (List.length !attempts);
+  Alcotest.(check bool) "poisoned outcome is cached" true
+    (List.for_all (fun (o : _ Sv.outcome) -> o.Sv.cached) out);
+  (* Retries: a fault that clears on the second attempt heals, and the
+     attempt indices are the deterministic 0, 1 sequence. *)
+  attempts := [];
+  let out = run_cells ~retries:3 [ flaky 1 ] in
+  (match out with
+  | [ { Sv.result = Ok 42; attempts = 2; cached = false; _ } ] -> ()
+  | _ -> Alcotest.fail "expected a healed cell after one retry");
+  Alcotest.(check (list int)) "attempt tags are 0 then 1" [ 0; 1 ] (List.rev !attempts);
+  Alcotest.(check int) "report counts the retried cell" 1 (Sv.report out).Sv.retried
+
+let test_supervisor_inject_and_duplicates () =
+  (* The chaos hook: inject runs before each attempt and can fault it. *)
+  let out =
+    run_cells ~retries:1
+      ~inject:(fun ~label ~attempt ->
+        if label = "b" && attempt = 0 then failwith "injected")
+      [ int_cell "a" 1; int_cell "b" 2 ]
+  in
+  (match List.map (fun (o : _ Sv.outcome) -> (o.Sv.result, o.Sv.attempts)) out with
+  | [ (Ok 1, 1); (Ok 2, 2) ] -> ()
+  | _ -> Alcotest.fail "expected b to heal on its second attempt");
+  match run_cells [ int_cell "same" 1; int_cell "same" 2 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "two cells sharing a digest must be rejected"
+
+let test_manifest_guard () =
+  let dir = fresh_dir () in
+  let store = Store.open_ dir in
+  Store.set_manifest store ~experiment:"table2" ~fields:[ ("seed", "1") ] ~total:4;
+  (* Idempotent when equal (field order canonicalized)... *)
+  Store.set_manifest store ~experiment:"table2" ~fields:[ ("seed", "1") ] ~total:4;
+  (* ...refused when different: one state dir, one sweep. *)
+  (match Store.set_manifest store ~experiment:"fig3" ~fields:[] ~total:2 with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "expected a manifest mismatch to be refused");
+  Store.close store;
+  let store = Store.open_ dir in
+  (match Store.manifest store with
+  | Some m ->
+      Alcotest.(check string) "manifest survives reopen" "table2" m.Store.experiment;
+      Alcotest.(check int) "total survives reopen" 4 m.Store.total
+  | None -> Alcotest.fail "manifest lost on reopen");
+  Store.close store
+
+(* --- jobs-invariant completion order ------------------------------------ *)
+
+(* Later-indexed tasks finish first (reverse sleeps), yet on_done must fire
+   in strictly increasing index order with identical results — that is what
+   makes the journal bytes jobs-invariant. *)
+let test_on_done_order () =
+  let n = 12 in
+  let input = Array.init n Fun.id in
+  let f i =
+    Unix.sleepf (0.001 *. float_of_int (n - i));
+    i * 10
+  in
+  List.iter
+    (fun domains ->
+      let order = ref [] in
+      let mu = Mutex.create () in
+      let on_done i r = Mutex.protect mu (fun () -> order := (i, r) :: !order) in
+      let results =
+        if domains = 1 then Pool.map ~on_done Pool.sequential f input
+        else Pool.with_pool ~domains (fun pool -> Pool.map ~on_done pool f input)
+      in
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "callbacks in index order at %d domain(s)" domains)
+        (List.init n (fun i -> (i, i * 10)))
+        (List.rev !order);
+      Alcotest.(check bool)
+        (Printf.sprintf "results correct at %d domain(s)" domains)
+        true
+        (results = Array.init n (fun i -> i * 10)))
+    [ 1; 4 ]
+
+let test_journal_bytes_jobs_invariant () =
+  let cells =
+    List.init 9 (fun i ->
+        {
+          Sv.label = Printf.sprintf "cell%d" i;
+          config = [ ("i", string_of_int i) ];
+          seed = 3;
+          run =
+            (fun ~attempt:_ ->
+              (* Reverse-staggered finish times to stress the ordering. *)
+              Unix.sleepf (0.002 *. float_of_int (9 - i));
+              i * 7);
+        })
+  in
+  let journal_of ~pool =
+    let dir = fresh_dir () in
+    let store = Store.open_ dir in
+    ignore (run_cells ?pool ~store cells);
+    Store.close store;
+    read_file (Store.journal_file dir)
+  in
+  let seq = journal_of ~pool:None in
+  let par = Pool.with_pool ~domains:4 (fun pool -> journal_of ~pool:(Some pool)) in
+  Alcotest.(check bool) "journal bytes identical at --jobs 1 and --jobs 4" true (seq = par)
+
+(* --- kill-and-resume integration ---------------------------------------- *)
+
+(* The victim sweep: a small journaled Table 2 run, reconstructed
+   identically by the parent test and the sacrificial child process. *)
+let kr_dataset () =
+  let profiles =
+    [
+      Stob_web.Sites.find "bing.com";
+      Stob_web.Sites.find "youtube.com";
+      Stob_web.Sites.find "whatsapp.net";
+    ]
+  in
+  Dataset.generate ~samples_per_site:6 ~seed:5 ~profiles ()
+
+let kr_config =
+  { Table2.default_config with samples_per_site = 6; folds = 2; forest_trees = 8; quiet = true }
+
+(* Entry point for the sacrificial child (dispatched from test_main before
+   alcotest takes over): journal the sweep into [dir], slowed a little per
+   cell so the parent reliably catches it mid-run, and wait to be killed. *)
+let child_main dir =
+  (try
+     let store = Store.open_ dir in
+     ignore
+       (Table2.run_on ~config:kr_config ~store
+          ~inject:(fun ~label:_ ~attempt:_ -> Unix.sleepf 0.05)
+          (kr_dataset ()))
+   with _ -> ());
+  exit 0
+
+(* A child process runs a journaled Table 2 sweep and is SIGKILLed as soon
+   as the journal shows two finished cells; the parent resumes the sweep —
+   sequentially and on four domains — and must reproduce the uninterrupted
+   result bit-for-bit while reusing the dead child's journal.  The child is
+   a re-exec of this test binary in [child_main] mode: [Unix.fork] is off
+   the table once earlier suites have spawned pool domains, while
+   [create_process] spawns without forking the runtime. *)
+let test_kill_and_resume () =
+  let dataset = kr_dataset () in
+  let config = kr_config in
+  let reference = Table2.run_on ~config dataset in
+  let dir = fresh_dir () in
+  let journal = Store.journal_file dir in
+  flush stdout;
+  flush stderr;
+  let child =
+    Unix.create_process Sys.executable_name
+      [| Sys.executable_name; "--store-child"; dir |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  let kill_and_reap () =
+    Unix.kill child Sys.sigkill;
+    ignore (Unix.waitpid [] child)
+  in
+  (* Poll read-only (never truncates the child's in-flight tail) until the
+     manifest plus two cell records are durable, then kill. *)
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  let rec wait () =
+    if Unix.gettimeofday () > deadline then (
+      kill_and_reap ();
+      Alcotest.fail "child sweep never journaled two cells")
+    else if List.length (try Journal.read journal with Sys_error _ -> []) < 3 then (
+      Unix.sleepf 0.005;
+      wait ())
+  in
+  wait ();
+  kill_and_reap ();
+  let killed_journal = read_file journal in
+  let killed_records = List.length (Journal.read journal) in
+  Alcotest.(check bool) "child was killed mid-sweep" true (killed_records < 17);
+      (* Resume twice from copies of the dead child's state — sequentially
+         and on four domains — so both resumes start from the same crash. *)
+      List.iter
+        (fun domains ->
+          let dir' = fresh_dir () in
+          write_file (Store.journal_file dir') killed_journal;
+          let store = Store.open_ dir' in
+          let report = ref None in
+          let resumed =
+            let run pool =
+              Table2.run_on ~config ?pool ~store
+                ~on_report:(fun r -> report := Some r)
+                dataset
+            in
+            if domains = 1 then run None
+            else Pool.with_pool ~domains (fun pool -> run (Some pool))
+          in
+          Store.close store;
+          Alcotest.(check bool)
+            (Printf.sprintf "resumed result bit-identical (--jobs %d)" domains)
+            true (resumed = reference);
+          let r = Option.get !report in
+          Alcotest.(check int)
+            (Printf.sprintf "every journaled cell was reused (--jobs %d)" domains)
+            (killed_records - 1) r.Sv.cached;
+          Alcotest.(check bool)
+            (Printf.sprintf "missing cells were recomputed (--jobs %d)" domains)
+            true
+            (r.Sv.computed = r.Sv.total - r.Sv.cached && r.Sv.computed >= 1))
+        [ 1; 4 ]
+
+let suite =
+  [
+    ( "store.journal",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+        Alcotest.test_case "torn tail truncation" `Quick test_journal_torn_tail;
+        Alcotest.test_case "crc corruption cuts replay" `Quick test_journal_crc;
+        Alcotest.test_case "bad magic refused" `Quick test_journal_bad_magic;
+      ] );
+    ( "store.cell",
+      [ Alcotest.test_case "digest canonicalization" `Quick test_digest_stability ] );
+    ( "store.atomic",
+      [ Alcotest.test_case "atomic write" `Quick test_atomic_file ] );
+    ( "store.supervisor",
+      [
+        Alcotest.test_case "cache and resume" `Quick test_supervisor_cache;
+        Alcotest.test_case "poison and retry" `Quick test_supervisor_poison_and_retry;
+        Alcotest.test_case "inject hook, duplicate digests" `Quick
+          test_supervisor_inject_and_duplicates;
+        Alcotest.test_case "manifest guard" `Quick test_manifest_guard;
+      ] );
+    ( "store.parallel",
+      [
+        Alcotest.test_case "on_done fires in index order" `Quick test_on_done_order;
+        Alcotest.test_case "journal bytes jobs-invariant" `Quick
+          test_journal_bytes_jobs_invariant;
+      ] );
+    ( "store.resume",
+      [ Alcotest.test_case "SIGKILL and resume (table2)" `Quick test_kill_and_resume ] );
+  ]
