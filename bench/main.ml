@@ -507,6 +507,236 @@ let run_forest ~smoke () =
   Printf.printf "  ok: speedup %.2fx >= %.1fx\n" speedup min_speedup
 
 (* ------------------------------------------------------------------ *)
+(* Simulator benchmark: the hierarchical timing wheel vs the seed's
+   comparison heap (kept verbatim as Stob_sim.Heap_queue) on a hold-model
+   workload at population shape, plus the population trace factory's
+   throughput.  Gates pop-sequence parity in every run; the full run also
+   gates the >= 3x events/sec claim and records BENCH_sim.json. *)
+
+module Eq = Stob_sim.Event_queue
+
+(* Classic hold model: the queue sits at a constant size while each step
+   pops the earliest event and reschedules it a random increment later —
+   the steady-state shape of a discrete-event simulation.  Increments mix
+   the population workload's time constants: pacing gaps (tens to hundreds
+   of microseconds), RTT-scale timers (tens of milliseconds) and
+   think/RTO-scale timers (hundreds of milliseconds to a second) — a
+   population of flows is spread across scales, not packed into one.
+   Pre-drawn so the loop times the queues, not the RNG. *)
+let simperf_increments ~n ~seed =
+  let rng = Stob_util.Rng.create seed in
+  Array.init n (fun _ ->
+      let r = Stob_util.Rng.float rng 1.0 in
+      if r < 0.70 then Stob_util.Rng.uniform rng 50e-6 500e-6
+      else if r < 0.90 then Stob_util.Rng.uniform rng 0.01 0.1
+      else Stob_util.Rng.uniform rng 0.2 1.0)
+
+let simperf_hold impl ~queue_size ~ops ~increments =
+  let q = Eq.create_impl impl in
+  let m = Array.length increments in
+  let t = ref 0.0 in
+  for i = 0 to queue_size - 1 do
+    t := !t +. increments.(i mod m);
+    Eq.push q ~time:!t i
+  done;
+  let start = Unix.gettimeofday () in
+  for i = 0 to ops - 1 do
+    match Eq.pop q with
+    | None -> assert false
+    | Some (time, v) -> Eq.push q ~time:(time +. increments.(i mod m)) v
+  done;
+  Unix.gettimeofday () -. start
+
+(* Pop-sequence parity on a randomized mixed push/pop schedule: the wheel
+   must replay the heap exactly, (time, insertion order) both. *)
+let simperf_parity ~steps ~seed =
+  let run impl =
+    let rng = Stob_util.Rng.create seed in
+    let q = Eq.create_impl impl in
+    let popped = ref [] in
+    let time = ref 0.0 in
+    for i = 0 to steps - 1 do
+      if Stob_util.Rng.bool rng then begin
+        time := !time +. Stob_util.Rng.float rng 0.002;
+        (* Same-instant bursts: every third push duplicates its timestamp. *)
+        let t = if i mod 3 = 0 then !time else !time +. Stob_util.Rng.float rng 1.0 in
+        Eq.push q ~time:t i
+      end
+      else popped := Eq.pop q :: !popped
+    done;
+    let rec drain () =
+      match Eq.pop q with
+      | Some _ as p ->
+          popped := p :: !popped;
+          drain ()
+      | None -> List.rev !popped
+    in
+    drain ()
+  in
+  run Eq.Heap = run Eq.Wheel
+
+let run_simperf ~smoke () =
+  hr (if smoke then "Simulator benchmark (smoke)" else "Simulator benchmark");
+  let queue_size = if smoke then 5_000 else 200_000 in
+  let ops = if smoke then 200_000 else 2_000_000 in
+  let increments = simperf_increments ~n:4096 ~seed:7 in
+  Printf.printf
+    "hold model: queue size %d, %d pop+push ops (population mixture: 70%% pacing 50-500us, 20%% RTT 10-100ms, 10%% think 0.2-1s)\n%!"
+    queue_size ops;
+  let reps = 3 in
+  let best f =
+    let b = ref infinity in
+    for _ = 1 to reps do
+      let t = f () in
+      if t < !b then b := t
+    done;
+    !b
+  in
+  let t_heap = best (fun () -> simperf_hold Eq.Heap ~queue_size ~ops ~increments) in
+  let t_wheel = best (fun () -> simperf_hold Eq.Wheel ~queue_size ~ops ~increments) in
+  let heap_eps = float_of_int ops /. t_heap in
+  let wheel_eps = float_of_int ops /. t_wheel in
+  let speedup = wheel_eps /. heap_eps in
+  Printf.printf "  heap (oracle):  %8.3f s  %12.0f events/s\n" t_heap heap_eps;
+  Printf.printf "  timing wheel:   %8.3f s  %12.0f events/s\n" t_wheel wheel_eps;
+  Printf.printf "  speedup:        %.2fx\n%!" speedup;
+  let parity = simperf_parity ~steps:(if smoke then 20_000 else 100_000) ~seed:11 in
+  Printf.printf "  parity: %s\n%!"
+    (if parity then "ok (pop sequences identical)" else "FAILED (wheel diverges from heap)");
+  (* Trace factory throughput at population shape. *)
+  let pop_config =
+    if smoke then
+      {
+        Population.default_config with
+        Population.users = 24;
+        shards = 4;
+        background_sites = 11;
+        max_trace_events = 400;
+      }
+    else { Population.default_config with Population.shards = 8 }
+  in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stob-simperf.%d" (Unix.getpid ()))
+  in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+  let start = Unix.gettimeofday () in
+  let summary = Population.generate pop_config ~state_dir:dir in
+  let wall = Unix.gettimeofday () -. start in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+  let traces_per_s = float_of_int summary.Population.flows /. wall in
+  let events_per_s = float_of_int summary.Population.events /. wall in
+  Printf.printf
+    "population factory: %d traces (%d packed events, %.1f MiB) in %.3f s\n\
+    \  %12.0f traces/s  %12.0f events/s\n%!"
+    summary.Population.flows summary.Population.events
+    (float_of_int summary.Population.bytes /. 1048576.0)
+    wall traces_per_s events_per_s;
+  if not smoke then begin
+    let json =
+      Printf.sprintf
+        "{\n\
+        \  \"queue\": { \"size\": %d, \"ops\": %d, \"heap_events_per_s\": %.0f, \
+         \"wheel_events_per_s\": %.0f, \"speedup\": %.3f, \"parity\": %b },\n\
+        \  \"population\": { \"traces\": %d, \"events\": %d, \"packed_bytes\": %d, \
+         \"wall_s\": %.6f, \"traces_per_s\": %.0f, \"events_per_s\": %.0f, \
+         \"corpus_digest\": \"%s\" }\n\
+         }\n"
+        queue_size ops heap_eps wheel_eps speedup parity summary.Population.flows
+        summary.Population.events summary.Population.bytes wall traces_per_s events_per_s
+        summary.Population.corpus_digest
+    in
+    Stob_store.Atomic_file.write "BENCH_sim.json" json;
+    Printf.printf "  wrote BENCH_sim.json\n%!"
+  end;
+  if not parity then exit 1;
+  (* Like the forest gate: the tiny smoke queue is where the wheel
+     amortizes least, so smoke only trips on gross regressions; the
+     headline >= 3x is gated by the full run. *)
+  let min_speedup = if smoke then 1.2 else 3.0 in
+  if speedup < min_speedup then begin
+    Printf.printf "  FAILED: speedup %.2fx < required %.1fx\n" speedup min_speedup;
+    exit 1
+  end;
+  Printf.printf "  ok: speedup %.2fx >= %.1fx\n" speedup min_speedup
+
+(* ------------------------------------------------------------------ *)
+(* Population soak: a ~100k-flow corpus generated with the invariant
+   monitor armed and a heap-growth watchdog asserting the trace factory's
+   O(shard) memory contract — resident growth must stay far below the
+   packed corpus size (which is what it would reach if shards were held
+   instead of streamed).  Runs under `dune build @chaos`. *)
+
+let run_population_soak ?pool ~flows_target () =
+  hr "Population soak: streaming memory contract under the monitor";
+  let cap = 60 in
+  (* E[flows] = users * mean_sessions * mean_session_visits. *)
+  let users = flows_target / 10 in
+  let config =
+    {
+      Population.default_config with
+      Population.users;
+      shards = 25;
+      mean_sessions = 2.5;
+      mean_session_visits = 4.0;
+      max_trace_events = cap;
+    }
+  in
+  let corpus_bytes_estimate = flows_target * cap * 12 in
+  let allowed_growth_bytes = max (32 * 1024 * 1024) (corpus_bytes_estimate / 4) in
+  let engine = Stob_sim.Engine.create () in
+  let monitor = Stob_check.Monitor.create engine in
+  Gc.full_major ();
+  let baseline_words = (Gc.stat ()).Gc.live_words in
+  let growth_words = ref 0 in
+  let worst_words = ref 0 in
+  let shards_done = ref 0 in
+  Stob_check.Monitor.register monitor ~name:"population-heap-growth" (fun ~now:_ ->
+      if !growth_words * 8 > allowed_growth_bytes then
+        Some
+          (Printf.sprintf "live heap grew %d MiB after shard %d (O(shard) bound: %d MiB)"
+             (!growth_words * 8 / 1048576) !shards_done
+             (allowed_growth_bytes / 1048576))
+      else None);
+  let on_shard (_ : Population.shard_stats) =
+    incr shards_done;
+    Gc.full_major ();
+    let live = (Gc.stat ()).Gc.live_words in
+    growth_words := max 0 (live - baseline_words);
+    if !growth_words > !worst_words then worst_words := !growth_words;
+    Stob_check.Monitor.check_now monitor ~now:(float_of_int !shards_done)
+  in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stob-popsoak.%d" (Unix.getpid ()))
+  in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+  let start = Unix.gettimeofday () in
+  let summary = Population.generate ?pool ~on_shard config ~state_dir:dir in
+  let wall = Unix.gettimeofday () -. start in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+  Printf.printf
+    "soak: %d flows (%d events, %.1f MiB packed) across %d shards in %.1f s\n\
+     peak live-heap growth: %d MiB (bound %d MiB, corpus %d MiB)\n%!"
+    summary.Population.flows summary.Population.events
+    (float_of_int summary.Population.bytes /. 1048576.0)
+    config.Population.shards wall
+    (!worst_words * 8 / 1048576)
+    (allowed_growth_bytes / 1048576)
+    (summary.Population.bytes / 1048576);
+  let failed = ref false in
+  let fail fmt = Printf.ksprintf (fun s -> Printf.printf "soak FAILURE: %s\n" s; failed := true) fmt in
+  let min_flows = flows_target * 9 / 10 in
+  if summary.Population.flows < min_flows then
+    fail "only %d flows generated (target %d, floor %d)" summary.Population.flows flows_target
+      min_flows;
+  (match Stob_check.Monitor.violations monitor with
+  | [] -> Printf.printf "soak: monitor clean (%d shards checked)\n" !shards_done
+  | vs -> List.iter (fun v -> fail "%s" (Stob_check.Violation.to_string v)) vs);
+  if !failed then exit 1;
+  Printf.printf "soak: all gates passed\n"
+
+(* ------------------------------------------------------------------ *)
 (* Smoke: assert that parallelism cannot change results.  Tiny inputs,
    real domains — run by `dune runtest` through the @quick-bench alias. *)
 
@@ -791,6 +1021,9 @@ let () =
   | [ "pareto-quick" ] -> with_jobs (fun pool -> run_pareto ?pool ~sweep ~quick:true ())
   | [ "micro" ] -> run_micro ~jobs ()
   | [ "forest" ] -> run_forest ~smoke:!smoke ()
+  | [ "simperf" ] -> run_simperf ~smoke:!smoke ()
+  | [ "population-soak" ] ->
+      with_jobs (fun pool -> run_population_soak ?pool ~flows_target:100_000 ())
   | [ "netem" ] ->
       with_jobs (fun pool ->
           run_netem ?pool ~loss:!loss ~reorder:!reorder ~netem_seed:!netem_seed ())
@@ -800,5 +1033,5 @@ let () =
       prerr_endline
         "usage: main.exe [--jobs N] [--loss F] [--reorder] [--netem-seed N] [--chaos-seed N] \
          [--smoke] [--state-dir DIR] [--retries N] [--strict] \
-         [quick|smoke|resume-smoke|table1|table2|table2-quick|fig1|fig2|fig3|fig3-quick|ablation-stack|ablation-cca|ablation-quic|openworld|cca-id|httpos|importance|early-curve|dl|pareto|micro|forest|netem|chaos]";
+         [quick|smoke|resume-smoke|table1|table2|table2-quick|fig1|fig2|fig3|fig3-quick|ablation-stack|ablation-cca|ablation-quic|openworld|cca-id|httpos|importance|early-curve|dl|pareto|micro|forest|simperf|population-soak|netem|chaos]";
       exit 2

@@ -726,6 +726,98 @@ let importance_cmd =
   Cmd.v (cmd_info "importance" ~doc:"Feature importance before/after defense")
     Term.(const importance $ samples $ trees)
 
+(* --- population ------------------------------------------------------- *)
+
+let population users shards background zipf sessions visits cap mode pop_seed dir jobs =
+  let config =
+    {
+      Population.default_config with
+      Population.users;
+      shards;
+      background_sites = background;
+      zipf_exponent = zipf;
+      mean_sessions = sessions;
+      mean_session_visits = visits;
+      max_trace_events = cap;
+      mode;
+      seed = pop_seed;
+    }
+  in
+  let summary = with_jobs jobs (fun pool -> Population.generate ?pool config ~state_dir:dir) in
+  Format.printf "%a" Population.pp_summary summary
+
+let population_cmd =
+  let mode_conv =
+    let parse = function
+      | "synthetic" -> Ok Population.Synthetic
+      | "browser" -> Ok Population.Browser
+      | s -> Error (`Msg (Printf.sprintf "unknown mode %s (expected synthetic or browser)" s))
+    in
+    let print fmt = function
+      | Population.Synthetic -> Format.pp_print_string fmt "synthetic"
+      | Population.Browser -> Format.pp_print_string fmt "browser"
+    in
+    Arg.conv ~docv:"MODE" (parse, print)
+  in
+  let users =
+    Arg.(value & opt (nonneg_int_conv ~docv:"N") Population.default_config.Population.users
+         & info [ "users" ] ~docv:"N" ~doc:"Population size.")
+  in
+  let shards =
+    Arg.(value & opt (pos_int_conv ~docv:"N") Population.default_config.Population.shards
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Fixed shard count (independent of $(b,--jobs); the corpus digest depends \
+                   only on the config and seed).")
+  in
+  let background =
+    Arg.(value
+         & opt (nonneg_int_conv ~docv:"N")
+             Population.default_config.Population.background_sites
+         & info [ "background" ] ~docv:"N"
+             ~doc:"Synthetic background sites appended after the nine monitored ones.")
+  in
+  let zipf =
+    Arg.(value
+         & opt (pos_float_conv ~docv:"S") Population.default_config.Population.zipf_exponent
+         & info [ "zipf" ] ~docv:"S" ~doc:"Site-popularity zipf exponent.")
+  in
+  let sessions =
+    Arg.(value
+         & opt (pos_float_conv ~docv:"M") Population.default_config.Population.mean_sessions
+         & info [ "sessions" ] ~docv:"M" ~doc:"Poisson mean sessions per user per day.")
+  in
+  let visits =
+    Arg.(value
+         & opt (pos_float_conv ~docv:"M")
+             Population.default_config.Population.mean_session_visits
+         & info [ "visits" ] ~docv:"M" ~doc:"Mean page visits per session (>= 1).")
+  in
+  let cap =
+    Arg.(value
+         & opt (pos_int_conv ~docv:"N") Population.default_config.Population.max_trace_events
+         & info [ "events-cap" ] ~docv:"N" ~doc:"Per-trace event cap (capture truncation).")
+  in
+  let mode =
+    Arg.(value & opt mode_conv Population.Synthetic
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"Trace synthesis: $(b,synthetic) (fast statistical model) or $(b,browser) \
+                   (full page-load simulation).")
+  in
+  let dir =
+    Arg.(required & opt (some string) None
+         & info [ "state-dir" ] ~docv:"DIR"
+             ~doc:"Corpus directory: one journal file per shard plus the resume store.  \
+                   Re-running the same config resumes, skipping finished shards.")
+  in
+  Cmd.v
+    (cmd_info "population"
+       ~doc:
+         "Generate a population-scale packed-trace corpus: zipf site popularity, per-user \
+          diurnal sessions, one journal per shard, O(shard) resident memory")
+    Term.(
+      const population $ users $ shards $ background $ zipf $ sessions $ visits $ cap $ mode
+      $ seed $ dir $ jobs)
+
 let main_cmd =
   let doc = "stack-level traffic obfuscation (Stob) reproduction toolkit" in
   Cmd.group (Cmd.info "stobctl" ~version:"1.0.0" ~doc ~exits)
@@ -733,7 +825,7 @@ let main_cmd =
       gen_dataset_cmd; attack_cmd; load_cmd; policies_cmd; table1_cmd; table2_cmd; fig3_cmd;
       arch_cmd; ablation_stack_cmd; ablation_cca_cmd; ablation_quic_cmd; openworld_cmd;
       pareto_cmd; resume_cmd; status_cmd; cca_id_cmd; httpos_cmd; importance_cmd; netem_cmd;
-      chaos_cmd;
+      chaos_cmd; population_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

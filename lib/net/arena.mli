@@ -1,0 +1,46 @@
+(** Bump allocator for in-flight packet metadata.
+
+    A growable, chunked store of (timestamp, direction, wire size) cells in
+    bigarray lanes — no per-event boxing.  Trace builders [add] events as
+    they occur and hand the arena to {!Packed_trace.of_arena}; [reset]
+    recycles the chunks so one arena serves every trace a worker builds.
+
+    The packed word is [size lsl 1 lor dir_bit] in an int32; sizes must lie
+    in [[0, 2^30)] (any real wire size does). *)
+
+type t
+
+val default_chunk_events : int
+(** 4096 events (48 KiB) per chunk. *)
+
+val max_size : int
+(** Largest representable wire size, [2^30 - 1]. *)
+
+val create : ?chunk_events:int -> unit -> t
+(** Raises [Invalid_argument] when [chunk_events < 1]. *)
+
+val length : t -> int
+(** Events added since the last [reset]. *)
+
+val add : t -> time:float -> dir:Packet.direction -> size:int -> unit
+(** Append one event.  Raises [Invalid_argument] when [size] is outside
+    [[0, {!max_size}]]. *)
+
+val reset : t -> unit
+(** Forget the contents, keeping the allocated chunks for reuse. *)
+
+(** {1 Consumption (used by {!Packed_trace})} *)
+
+val blit :
+  t ->
+  times:(float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  meta:(int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  unit
+(** Copy the events, in insertion order, into the destination lanes (whose
+    length must equal [length t]). *)
+
+(** {1 Packed-word codec (shared with {!Packed_trace})} *)
+
+val encode : dir:Packet.direction -> size:int -> int32
+val decode_size : int32 -> int
+val decode_dir : int32 -> Packet.direction

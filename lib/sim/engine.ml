@@ -26,9 +26,10 @@ type t = {
 
 let default_same_instant_budget = 1_000_000
 
-let create () =
+let create ?queue () =
   {
-    queue = Event_queue.create ();
+    queue =
+      (match queue with None -> Event_queue.create () | Some impl -> Event_queue.create_impl impl);
     clock = 0.0;
     live = 0;
     processed = 0;

@@ -1,71 +1,37 @@
-type 'a entry = { time : float; seq : int; value : 'a }
+(* Facade over the two event-queue implementations.
 
-type 'a t = { mutable heap : 'a entry array; mutable len : int; mutable next_seq : int }
+   The timing wheel (timing_wheel.ml) is the production queue; the seed's
+   binary heap (heap_queue.ml) is kept verbatim as the differential oracle
+   and stays selectable — set STOB_EVENT_QUEUE=heap to run any experiment
+   on the original implementation (the sim.wheel battery proves the two
+   pop identically, so results cannot differ; the knob exists to let a
+   suspicious user check exactly that on their own workload). *)
 
-let create () = { heap = [||]; len = 0; next_seq = 0 }
+type impl = Heap | Wheel
 
-let size t = t.len
-let is_empty t = t.len = 0
+type 'a t = H of 'a Heap_queue.t | W of 'a Timing_wheel.t
 
-(* [a] is earlier than [b] when its time is smaller, with insertion order as
-   the tiebreaker. *)
-let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let env_impl =
+  lazy
+    (match Sys.getenv_opt "STOB_EVENT_QUEUE" with
+    | None | Some "" | Some "wheel" -> Wheel
+    | Some "heap" -> Heap
+    | Some other ->
+        invalid_arg
+          (Printf.sprintf "STOB_EVENT_QUEUE=%S: expected \"wheel\" or \"heap\"" other))
 
-let grow t =
-  let cap = Array.length t.heap in
-  let new_cap = if cap = 0 then 64 else cap * 2 in
-  let dummy = t.heap.(0) in
-  let heap = Array.make new_cap dummy in
-  Array.blit t.heap 0 heap 0 t.len;
-  t.heap <- heap
+let default_impl () = Lazy.force env_impl
+
+let create_impl = function Heap -> H (Heap_queue.create ()) | Wheel -> W (Timing_wheel.create ())
+let create () = create_impl (default_impl ())
+let create_wheel ?granularity () = W (Timing_wheel.create ?granularity ())
+
+let impl = function H _ -> Heap | W _ -> Wheel
 
 let push t ~time value =
-  let entry = { time; seq = t.next_seq; value } in
-  t.next_seq <- t.next_seq + 1;
-  if t.len = 0 && Array.length t.heap = 0 then t.heap <- Array.make 64 entry
-  else if t.len = Array.length t.heap then grow t;
-  t.heap.(t.len) <- entry;
-  t.len <- t.len + 1;
-  (* Sift up. *)
-  let i = ref (t.len - 1) in
-  while
-    !i > 0
-    &&
-    let parent = (!i - 1) / 2 in
-    earlier t.heap.(!i) t.heap.(parent)
-  do
-    let parent = (!i - 1) / 2 in
-    let tmp = t.heap.(!i) in
-    t.heap.(!i) <- t.heap.(parent);
-    t.heap.(parent) <- tmp;
-    i := parent
-  done
+  match t with H q -> Heap_queue.push q ~time value | W q -> Timing_wheel.push q ~time value
 
-let peek t = if t.len = 0 then None else Some (t.heap.(0).time, t.heap.(0).value)
-
-let pop t =
-  if t.len = 0 then None
-  else begin
-    let top = t.heap.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.heap.(0) <- t.heap.(t.len);
-      (* Sift down. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let left = (2 * !i) + 1 and right = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if left < t.len && earlier t.heap.(left) t.heap.(!smallest) then smallest := left;
-        if right < t.len && earlier t.heap.(right) t.heap.(!smallest) then smallest := right;
-        if !smallest = !i then continue := false
-        else begin
-          let tmp = t.heap.(!i) in
-          t.heap.(!i) <- t.heap.(!smallest);
-          t.heap.(!smallest) <- tmp;
-          i := !smallest
-        end
-      done
-    end;
-    Some (top.time, top.value)
-  end
+let pop = function H q -> Heap_queue.pop q | W q -> Timing_wheel.pop q
+let peek = function H q -> Heap_queue.peek q | W q -> Timing_wheel.peek q
+let size = function H q -> Heap_queue.size q | W q -> Timing_wheel.size q
+let is_empty = function H q -> Heap_queue.is_empty q | W q -> Timing_wheel.is_empty q

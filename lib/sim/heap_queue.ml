@@ -1,0 +1,76 @@
+(* The seed's binary-heap event queue, kept verbatim as the differential
+   oracle for the timing wheel (see timing_wheel.ml and the sim.wheel test
+   battery).  Do not "improve" this module: its value is that it is the
+   exact implementation the engine shipped with. *)
+
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = { mutable heap : 'a entry array; mutable len : int; mutable next_seq : int }
+
+let create () = { heap = [||]; len = 0; next_seq = 0 }
+
+let size t = t.len
+let is_empty t = t.len = 0
+
+(* [a] is earlier than [b] when its time is smaller, with insertion order as
+   the tiebreaker. *)
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.heap in
+  let new_cap = if cap = 0 then 64 else cap * 2 in
+  let dummy = t.heap.(0) in
+  let heap = Array.make new_cap dummy in
+  Array.blit t.heap 0 heap 0 t.len;
+  t.heap <- heap
+
+let push t ~time value =
+  let entry = { time; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  if t.len = 0 && Array.length t.heap = 0 then t.heap <- Array.make 64 entry
+  else if t.len = Array.length t.heap then grow t;
+  t.heap.(t.len) <- entry;
+  t.len <- t.len + 1;
+  (* Sift up. *)
+  let i = ref (t.len - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    earlier t.heap.(!i) t.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.heap.(!i) in
+    t.heap.(!i) <- t.heap.(parent);
+    t.heap.(parent) <- tmp;
+    i := parent
+  done
+
+let peek t = if t.len = 0 then None else Some (t.heap.(0).time, t.heap.(0).value)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.heap.(0) <- t.heap.(t.len);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let left = (2 * !i) + 1 and right = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if left < t.len && earlier t.heap.(left) t.heap.(!smallest) then smallest := left;
+        if right < t.len && earlier t.heap.(right) t.heap.(!smallest) then smallest := right;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.heap.(!i) in
+          t.heap.(!i) <- t.heap.(!smallest);
+          t.heap.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.time, top.value)
+  end

@@ -1,0 +1,27 @@
+(** Min-heap priority queue keyed by [(time, sequence)] — the seed
+    implementation, kept verbatim as the {e differential oracle} for
+    {!Timing_wheel}.
+
+    The sequence number breaks ties so that events scheduled for the same
+    instant fire in insertion order — a property the TCP model relies on
+    (e.g., an ACK processed before the timer armed after it).  Production
+    code goes through {!Event_queue}, which selects the timing wheel by
+    default; this module exists so the [sim.wheel] battery can compare the
+    wheel's pop sequence against the original heap's on randomized
+    schedules. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Insert an element with priority [time]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest element, or [None] when empty. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Earliest element without removing it. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool

@@ -152,6 +152,147 @@ let test_cca_id_reduced () =
   Alcotest.(check bool) "rate floor reduces identifiability" true
     (r.Cca_id.shaped <= r.Cca_id.undefended)
 
+(* --- population statistical battery ----------------------------------- *)
+
+let pop_dir_counter = ref 0
+
+let fresh_pop_dir () =
+  incr pop_dir_counter;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stob-test-pop.%d.%d" (Unix.getpid ()) !pop_dir_counter)
+  in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+  dir
+
+let with_pop_dir f =
+  let dir = fresh_pop_dir () in
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)
+
+(* Small enough to generate in-process, big enough for the digests to be
+   sensitive to any ordering or payload difference. *)
+let pop_config =
+  {
+    Population.default_config with
+    Population.users = 24;
+    shards = 4;
+    background_sites = 7;
+    max_trace_events = 256;
+  }
+
+let pop_site_counts config =
+  let n = 9 + config.Population.background_sites in
+  let counts = Array.make n 0 in
+  for shard = 0 to config.Population.shards - 1 do
+    Array.iter
+      (fun v -> counts.(v.Population.site) <- counts.(v.Population.site) + 1)
+      (Population.plan_shard config ~shard)
+  done;
+  counts
+
+let test_population_zipf_slope () =
+  (* Planning is pure, so a large population is cheap: ~20k visit draws
+     over 50 sites pins the empirical rank-frequency slope tightly. *)
+  let config =
+    { pop_config with Population.users = 2_000; shards = 8; background_sites = 41 }
+  in
+  let counts = pop_site_counts config in
+  let total = Array.fold_left ( + ) 0 counts in
+  Alcotest.(check bool) (Printf.sprintf "enough visits (%d)" total) true (total > 10_000);
+  (* Least-squares slope of log count vs log rank over the well-populated
+     head; the tail of a finite sample is noisy by nature. *)
+  let pts =
+    List.filter_map
+      (fun r -> if counts.(r) > 30 then Some (log (float_of_int (r + 1)), log (float_of_int counts.(r))) else None)
+      (List.init (Array.length counts) Fun.id)
+  in
+  Alcotest.(check bool) "head covers 20+ ranks" true (List.length pts >= 20);
+  let n = float_of_int (List.length pts) in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+  let slope = ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx)) in
+  let expected = -.config.Population.zipf_exponent in
+  Alcotest.(check bool)
+    (Printf.sprintf "rank-frequency slope %.3f within 0.2 of %.3f" slope expected)
+    true
+    (Float.abs (slope -. expected) < 0.2)
+
+let test_population_plan_deterministic () =
+  let a = Population.plan_shard pop_config ~shard:1 in
+  let b = Population.plan_shard pop_config ~shard:1 in
+  Alcotest.(check bool) "same seed, same plan" true (a = b);
+  let c = Population.plan_shard { pop_config with Population.seed = 43 } ~shard:1 in
+  Alcotest.(check bool) "different seed, different plan" true (a <> c);
+  (* Per-user pre-split generators: a user's visits (sessions, sites,
+     start times, trace seeds) must not depend on how many shards the
+     population is cut into. *)
+  let visits_of_user config u =
+    Array.to_list (Population.plan_shard config ~shard:(u mod config.Population.shards))
+    |> List.filter (fun v -> v.Population.user = u)
+  in
+  let two = { pop_config with Population.shards = 2 } in
+  for u = 0 to 7 do
+    Alcotest.(check bool)
+      (Printf.sprintf "user %d plan independent of shard count" u)
+      true
+      (visits_of_user pop_config u = visits_of_user two u)
+  done;
+  (* Session counts look Poisson-ish: the mean over the population sits
+     near the configured rate. *)
+  let sessions = Hashtbl.create 64 in
+  for shard = 0 to pop_config.Population.shards - 1 do
+    Array.iter
+      (fun v -> Hashtbl.replace sessions (v.Population.user, v.Population.session) ())
+      (Population.plan_shard pop_config ~shard)
+  done;
+  let mean = float_of_int (Hashtbl.length sessions) /. float_of_int pop_config.Population.users in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean sessions/user %.2f near %.2f" mean pop_config.Population.mean_sessions)
+    true
+    (Float.abs (mean -. pop_config.Population.mean_sessions) < 1.0)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let test_population_jobs_parity () =
+  with_pop_dir (fun dir1 ->
+      with_pop_dir (fun dir4 ->
+          let seq = Population.generate pop_config ~state_dir:dir1 in
+          let par =
+            Stob_par.Pool.with_pool ~domains:4 (fun pool ->
+                Population.generate ~pool pop_config ~state_dir:dir4)
+          in
+          Alcotest.(check string) "corpus digest jobs-invariant" seq.Population.corpus_digest
+            par.Population.corpus_digest;
+          Alcotest.(check int) "flow counts equal" seq.Population.flows par.Population.flows;
+          for shard = 0 to pop_config.Population.shards - 1 do
+            Alcotest.(check bool)
+              (Printf.sprintf "shard %d journal byte-identical" shard)
+              true
+              (read_file (Population.shard_file ~state_dir:dir1 shard)
+              = read_file (Population.shard_file ~state_dir:dir4 shard))
+          done;
+          (* Resume: a second run over a warm state directory recomputes
+             nothing and reports the identical corpus. *)
+          let resumed = Population.generate pop_config ~state_dir:dir1 in
+          Alcotest.(check int) "all shards served from cache" pop_config.Population.shards
+            resumed.Population.cached_shards;
+          Alcotest.(check string) "resumed digest identical" seq.Population.corpus_digest
+            resumed.Population.corpus_digest;
+          (* The journaled corpus streams back: per-shard flow counts match
+             the stats, traces arrive sorted and capped. *)
+          let streamed = ref 0 in
+          for shard = 0 to pop_config.Population.shards - 1 do
+            Population.iter_shard_traces ~state_dir:dir1 ~shard (fun pt ->
+                incr streamed;
+                Alcotest.(check bool) "trace within event cap" true
+                  (Stob_net.Packed_trace.length pt <= pop_config.Population.max_trace_events))
+          done;
+          Alcotest.(check int) "streamed corpus complete" seq.Population.flows !streamed))
+
 let suite =
   [
     ( "experiments",
@@ -165,5 +306,13 @@ let suite =
         Alcotest.test_case "httpos reduced" `Slow test_httpos_reduced;
         Alcotest.test_case "importance reduced" `Slow test_importance_reduced;
         Alcotest.test_case "cca-id reduced" `Slow test_cca_id_reduced;
+      ] );
+    ( "experiments.population",
+      [
+        Alcotest.test_case "zipf rank-frequency slope" `Quick test_population_zipf_slope;
+        Alcotest.test_case "plans deterministic and shard-count independent" `Quick
+          test_population_plan_deterministic;
+        Alcotest.test_case "jobs parity, resume, and streaming" `Slow
+          test_population_jobs_parity;
       ] );
   ]

@@ -181,9 +181,39 @@ let prop_features_finite_on_random_traces =
       let f = Features.extract t in
       Array.length f = Features.dimension && Array.for_all Float.is_finite f)
 
+(* --- Packed featurizer parity --- *)
+
+let arbitrary_sorted_trace =
+  QCheck.make
+    ~print:(fun t -> Trace.to_csv t)
+    QCheck.Gen.(
+      list_size (int_range 0 80)
+        (map3
+           (fun t d s -> { Trace.time = t; dir = (if d then out else inc); size = s })
+           (oneof [ float_range 0.0 10.0; return 1.5 ])
+           bool (int_range 0 1500))
+      |> map (fun evs -> Trace.sort (Array.of_list evs)))
+
+let prop_extract_packed_parity =
+  QCheck.Test.make ~name:"extract_packed is bit-identical to extract" ~count:200
+    arbitrary_sorted_trace (fun t ->
+      Features.extract_packed (Stob_net.Packed_trace.of_trace t) = Features.extract t)
+
+let test_extract_packed_degenerate () =
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "parity on degenerate trace" true
+        (Features.extract_packed (Stob_net.Packed_trace.of_trace t) = Features.extract t))
+    [ [||]; [| ev 0.0 out 52 |]; [| ev 1.0 inc 0; ev 1.0 inc 0 |]; sample_trace () ]
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
+    ( "kfp.packed",
+      [
+        Alcotest.test_case "degenerate traces" `Quick test_extract_packed_degenerate;
+        q prop_extract_packed_parity;
+      ] );
     ( "kfp.features",
       [
         Alcotest.test_case "dimension matches names" `Quick test_dimension_matches_names;

@@ -168,6 +168,120 @@ let prop_csv_roundtrip =
       let t' = Trace.of_csv (Trace.to_csv t) in
       Trace.length t = Trace.length t' && Trace.bytes t = Trace.bytes t')
 
+(* --- Packed traces: exact agreement with the record-array representation --- *)
+
+module Packed = Stob_net.Packed_trace
+module Arena = Stob_net.Arena
+
+(* Messy on purpose: unsorted, duplicate and negative timestamps, zero
+   sizes — the packed mirror must agree with Trace on all of it, not just
+   on well-formed captures. *)
+let arbitrary_messy_trace =
+  QCheck.make
+    ~print:(fun t -> Trace.to_csv t)
+    QCheck.Gen.(
+      list_size (int_range 0 80)
+        (map3
+           (fun t d s -> { Trace.time = t; dir = (if d then out else inc); size = s })
+           (oneof [ float_range (-2.0) 10.0; return 0.0; return 1.5 ])
+           bool
+           (oneof [ int_range 0 1500; return 0 ]))
+      |> map Array.of_list)
+
+let prop_packed_roundtrip =
+  QCheck.Test.make ~name:"packed round-trip is the identity" ~count:300 arbitrary_messy_trace
+    (fun t -> Packed.to_trace (Packed.of_trace t) = t)
+
+let prop_packed_csv_parity =
+  QCheck.Test.make ~name:"packed to_csv/of_csv byte-parity with Trace" ~count:300
+    arbitrary_messy_trace (fun t ->
+      let p = Packed.of_trace t in
+      let csv = Trace.to_csv t in
+      Packed.to_csv p = csv && Packed.to_trace (Packed.of_csv csv) = Trace.of_csv csv)
+
+let prop_packed_observers_agree =
+  QCheck.Test.make ~name:"packed observers agree with Trace" ~count:300
+    QCheck.(pair arbitrary_messy_trace small_nat)
+    (fun (t, k) ->
+      let p = Packed.of_trace t in
+      let dirs = [ None; Some out; Some inc ] in
+      Packed.is_sorted p = Trace.is_sorted t
+      && Packed.duration p = Trace.duration t
+      && Packed.signed_sizes p = Trace.signed_sizes t
+      && Packed.to_trace (Packed.shift_to_zero p) = Trace.shift_to_zero t
+      && Packed.to_trace (Packed.prefix p k) = Trace.prefix t k
+      && List.for_all
+           (fun dir ->
+             Packed.count ?dir p = Trace.count ?dir t
+             && Packed.bytes ?dir p = Trace.bytes ?dir t
+             && Packed.times ?dir p = Trace.times ?dir t
+             && Packed.sizes ?dir p = Trace.sizes ?dir t
+             && Packed.interarrivals ?dir p = Trace.interarrivals ?dir t)
+           dirs)
+
+let prop_packed_sort_concat_agree =
+  QCheck.Test.make ~name:"packed sort/concat_sorted agree with Trace" ~count:300
+    QCheck.(pair arbitrary_messy_trace arbitrary_messy_trace)
+    (fun (a, b) ->
+      let pa = Packed.of_trace a and pb = Packed.of_trace b in
+      Packed.to_trace (Packed.sort pa) = Trace.sort a
+      && Packed.to_trace (Packed.concat_sorted [ pa; pb ]) = Trace.concat_sorted [ a; b ])
+
+let prop_packed_bytes_roundtrip =
+  QCheck.Test.make ~name:"packed binary codec round-trips bit-exactly" ~count:300
+    arbitrary_messy_trace (fun t ->
+      let p = Packed.of_trace t in
+      Packed.to_trace (Packed.of_bytes (Packed.to_bytes p)) = t)
+
+let test_packed_save_load_parity () =
+  let t = Trace.sort (sample_trace ()) in
+  let p = Packed.of_trace t in
+  let f1 = Filename.temp_file "stob-packed" ".csv" and f2 = Filename.temp_file "stob-packed" ".csv" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove f1;
+      Sys.remove f2)
+    (fun () ->
+      Trace.save f1 t;
+      Packed.save f2 p;
+      let read f = In_channel.with_open_bin f In_channel.input_all in
+      Alcotest.(check string) "files byte-identical" (read f1) (read f2);
+      Alcotest.(check bool) "loads agree" true (Packed.to_trace (Packed.load f2) = Trace.load f1))
+
+let test_packed_views () =
+  let t = Trace.sort (sample_trace ()) in
+  let p = Packed.of_trace t in
+  Alcotest.(check int) "prefix view length" 3 (Packed.length (Packed.prefix p 3));
+  Alcotest.(check bool) "sub view contents" true
+    (Packed.to_trace (Packed.sub p 2 4) = Array.sub t 2 4);
+  Alcotest.(check bool) "empty" true (Packed.to_trace Packed.empty = [||]);
+  Alcotest.(check bool) "malformed bytes rejected" true
+    (try
+       ignore (Packed.of_bytes "not a packed trace");
+       false
+     with Failure _ -> true)
+
+let test_arena_build () =
+  (* A 3-event chunk forces multiple spills on an 8-event trace. *)
+  let t = Trace.sort (sample_trace ()) in
+  let a = Arena.create ~chunk_events:3 () in
+  Array.iter (fun e -> Arena.add a ~time:e.Trace.time ~dir:e.Trace.dir ~size:e.Trace.size) t;
+  Alcotest.(check int) "length" (Trace.length t) (Arena.length a);
+  Alcotest.(check bool) "of_arena equals of_trace" true
+    (Packed.to_trace (Packed.of_arena a) = t);
+  Arena.reset a;
+  Alcotest.(check int) "reset empties" 0 (Arena.length a);
+  (* Reuse after reset: recycled chunks must not leak stale events. *)
+  Arena.add a ~time:42.0 ~dir:out ~size:99;
+  let p = Packed.of_arena a in
+  Alcotest.(check bool) "reuse after reset" true
+    (Packed.to_trace p = [| ev 42.0 out 99 |]);
+  Alcotest.(check bool) "size range enforced" true
+    (try
+       Arena.add a ~time:0.0 ~dir:out ~size:(-1);
+       false
+     with Invalid_argument _ -> true)
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
@@ -200,5 +314,16 @@ let suite =
       [
         Alcotest.test_case "records" `Quick test_capture_records;
         Alcotest.test_case "clear" `Quick test_capture_clear;
+      ] );
+    ( "net.packed",
+      [
+        Alcotest.test_case "save/load byte parity" `Quick test_packed_save_load_parity;
+        Alcotest.test_case "zero-copy views" `Quick test_packed_views;
+        Alcotest.test_case "arena build/reset" `Quick test_arena_build;
+        q prop_packed_roundtrip;
+        q prop_packed_csv_parity;
+        q prop_packed_observers_agree;
+        q prop_packed_sort_concat_agree;
+        q prop_packed_bytes_roundtrip;
       ] );
   ]

@@ -496,6 +496,189 @@ let test_fault_arm_schedules () =
     [ "apply:hook-stall@1"; "revert:hook-stall@1.5"; "apply:pacer-jump@2" ]
     (List.rev !log)
 
+(* --- sim.wheel: the timing wheel vs the verbatim heap oracle --- *)
+
+(* Scripts are interpreted identically against both implementations; any
+   divergence in the full pop sequence (values, times, or the empty tail)
+   fails the differential check. *)
+type wheel_op = WPush of float | WPushAtLastPop | WPop
+
+let run_script ops q =
+  let out = ref [] in
+  let id = ref 0 in
+  let last_pop = ref 0.0 in
+  let push time =
+    Event_queue.push q ~time !id;
+    incr id
+  in
+  let pop () =
+    let r = Event_queue.pop q in
+    (match r with Some (t, _) -> last_pop := t | None -> ());
+    out := r :: !out
+  in
+  List.iter
+    (function
+      | WPush time -> push time
+      | WPushAtLastPop -> push !last_pop (* same-tick push right after a pop *)
+      | WPop -> pop ())
+    ops;
+  while not (Event_queue.is_empty q) do
+    pop ()
+  done;
+  out := Event_queue.pop q :: !out;
+  List.rev !out
+
+let wheel_matches_heap ?granularity ops =
+  let wheel =
+    match granularity with
+    | None -> Event_queue.create_impl Event_queue.Wheel
+    | Some g -> Event_queue.create_wheel ~granularity:g ()
+  in
+  run_script ops (Event_queue.create_impl Event_queue.Heap) = run_script ops wheel
+
+(* Regression pin: same-instant pushes pop in insertion order on the wheel
+   itself — the invariant endpoint.ml's ACK/timer interleaving relies on,
+   pinned here independently of the differential battery. *)
+let test_wheel_fifo_pin () =
+  let q = Event_queue.create_impl Event_queue.Wheel in
+  Event_queue.push q ~time:1.0 "a";
+  Event_queue.push q ~time:1.0 "b";
+  Event_queue.push q ~time:0.5 "c";
+  Event_queue.push q ~time:1.0 "d";
+  let order = List.init 4 (fun _ -> Option.get (Event_queue.pop q)) in
+  Alcotest.(check (list (pair (float 0.0) string)))
+    "same-instant insertion order survives the wheel"
+    [ (0.5, "c"); (1.0, "a"); (1.0, "b"); (1.0, "d") ]
+    order
+
+let test_wheel_default_impl () =
+  let expected =
+    match Sys.getenv_opt "STOB_EVENT_QUEUE" with
+    | Some "heap" -> Event_queue.Heap
+    | _ -> Event_queue.Wheel
+  in
+  Alcotest.(check bool) "default queue implementation" true
+    (Event_queue.impl (Event_queue.create ()) = expected)
+
+let test_wheel_push_during_pop () =
+  (* Pops interleaved with pushes at exactly the last popped time: the
+     wheel must keep feeding them through its ready heap in seq order. *)
+  let ops =
+    [
+      WPush 0.5; WPush 1.0; WPush 1.0; WPop; WPushAtLastPop; WPushAtLastPop; WPop; WPop;
+      WPush 0.75; WPop; WPushAtLastPop; WPop; WPop;
+    ]
+  in
+  Alcotest.(check bool) "push-during-pop differential" true (wheel_matches_heap ops)
+
+let test_wheel_far_future () =
+  (* 5e3 s at the default 1 µs granularity is beyond the 2^32-tick wheel
+     horizon: exercises the overflow list and the cursor rebase, with
+     near-term pushes interleaved after the far-future ones. *)
+  let ops =
+    [
+      WPush 0.1; WPush 4.0e3; WPop; WPush 5.0e3; WPush 1.0e7; WPush 2.5; WPop; WPush 1.0e11;
+      WPop; WPush 0.0; WPush 3.0; WPop; WPush 1.0e7; WPop;
+    ]
+  in
+  Alcotest.(check bool) "far-future differential" true (wheel_matches_heap ops)
+
+let arbitrary_schedule =
+  let op =
+    QCheck.Gen.(
+      frequency
+        [
+          (5, map (fun t -> `Push (t *. 10.0)) (float_range 0.0 1.0));
+          (2, return `Dup); (* same-instant burst: repeat the previous push time *)
+          (1, map (fun t -> `Push (1e3 +. (t *. 1e12))) (float_range 0.0 1.0)); (* far future *)
+          (1, map (fun t -> `Push (-.t)) (float_range 0.0 2.0)); (* behind the cursor *)
+          (1, return `PushAtLastPop);
+          (4, return `Pop);
+        ])
+  in
+  let concretize script =
+    let last = ref 1.0 in
+    List.map
+      (function
+        | `Push t ->
+            last := t;
+            WPush t
+        | `Dup -> WPush !last
+        | `PushAtLastPop -> WPushAtLastPop
+        | `Pop -> WPop)
+      script
+  in
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat " "
+        (List.map
+           (function
+             | WPush t -> Printf.sprintf "push(%h)" t
+             | WPushAtLastPop -> "push@last-pop"
+             | WPop -> "pop")
+           ops))
+    QCheck.Gen.(map concretize (list_size (int_range 0 200) op))
+
+let prop_wheel_differential =
+  QCheck.Test.make ~name:"wheel pop sequence == heap oracle (default granularity)" ~count:300
+    arbitrary_schedule wheel_matches_heap
+
+let prop_wheel_differential_coarse =
+  (* A 0.5 s tick collapses nearly every push into a handful of ticks, so
+     ordering rides almost entirely on the exact-order ready heap. *)
+  QCheck.Test.make ~name:"wheel pop sequence == heap oracle (coarse 0.5 s ticks)" ~count:300
+    arbitrary_schedule
+    (fun ops -> wheel_matches_heap ~granularity:0.5 ops)
+
+let prop_wheel_differential_fine =
+  (* A 1 ns tick pushes mid-range times into high wheel levels and the
+     far-future pushes deep into overflow. *)
+  QCheck.Test.make ~name:"wheel pop sequence == heap oracle (fine 1 ns ticks)" ~count:300
+    arbitrary_schedule
+    (fun ops -> wheel_matches_heap ~granularity:1e-9 ops)
+
+(* Cancel/re-arm differential at the engine level: the exact scenario —
+   timers disarmed by earlier events, re-armed, re-cancelled, zero-delay
+   chains, same-instant triples — must execute identically on both queue
+   implementations. *)
+let engine_cancel_rearm_scenario ~queue =
+  let log = Buffer.create 256 in
+  let e = Engine.create ~queue () in
+  let note tag = Buffer.add_string log (Printf.sprintf "%s@%.9f;" tag (Engine.now e)) in
+  let timer = ref None in
+  let arm label delay = timer := Some (Engine.schedule e ~delay (fun () -> note ("fire-" ^ label))) in
+  arm "t0" 5.0;
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         note "cancel+rearm";
+         (match !timer with Some ev -> Engine.cancel e ev | None -> ());
+         arm "t1" 0.5));
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> note "same-instant-1"));
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> note "same-instant-2"));
+  ignore
+    (Engine.schedule e ~delay:2.0 (fun () ->
+         note "chain-a";
+         ignore (Engine.schedule e ~delay:0.0 (fun () -> note "chain-b"))));
+  let far = Engine.schedule e ~delay:10_000.0 (fun () -> note "far") in
+  ignore
+    (Engine.schedule e ~delay:3.0 (fun () ->
+         Engine.cancel e far;
+         let r = Engine.schedule e ~delay:9_000.0 (fun () -> note "re-far") in
+         ignore (Engine.schedule e ~delay:0.25 (fun () -> Engine.cancel e r));
+         arm "t2" 0.125));
+  Engine.run e;
+  Buffer.contents log
+
+let test_wheel_engine_cancel_rearm () =
+  let heap_log = engine_cancel_rearm_scenario ~queue:Event_queue.Heap in
+  let wheel_log = engine_cancel_rearm_scenario ~queue:Event_queue.Wheel in
+  Alcotest.(check string) "cancel/re-arm log identical across queues" heap_log wheel_log;
+  (* Sanity pin: the scenario exercised what it claims to — the t0 timer
+     was disarmed, its replacement fired, the far timers never did. *)
+  Alcotest.(check string) "scenario executes as designed"
+    "cancel+rearm@1.000000000;same-instant-1@1.000000000;same-instant-2@1.000000000;fire-t1@1.500000000;chain-a@2.000000000;chain-b@2.000000000;fire-t2@3.125000000;"
+    heap_log
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
@@ -505,6 +688,18 @@ let suite =
         Alcotest.test_case "fifo ties" `Quick test_eq_fifo_ties;
         Alcotest.test_case "size" `Quick test_eq_size;
         q prop_eq_sorted_output;
+      ] );
+    ( "sim.wheel",
+      [
+        Alcotest.test_case "same-instant fifo pin" `Quick test_wheel_fifo_pin;
+        Alcotest.test_case "default implementation" `Quick test_wheel_default_impl;
+        Alcotest.test_case "push-during-pop differential" `Quick test_wheel_push_during_pop;
+        Alcotest.test_case "far-future / overflow differential" `Quick test_wheel_far_future;
+        Alcotest.test_case "engine cancel/re-arm differential" `Quick
+          test_wheel_engine_cancel_rearm;
+        q prop_wheel_differential;
+        q prop_wheel_differential_coarse;
+        q prop_wheel_differential_fine;
       ] );
     ( "sim.engine",
       [
