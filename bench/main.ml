@@ -737,6 +737,81 @@ let run_population_soak ?pool ~flows_target () =
   Printf.printf "soak: all gates passed\n"
 
 (* ------------------------------------------------------------------ *)
+(* TCP soak: population-scale endurance run of the endpoint itself —
+   millions of request/response/close flows planned by the trace factory,
+   every endpoint under the invariant monitor (window-sanity checks
+   armed), chaos pacer faults on every 4th shard, and a heap-growth
+   watchdog asserting flows are reaped, not accumulated.  Smoke variant
+   (`--smoke`) rides `dune runtest`; the full run is `dune build @soak`. *)
+
+let run_soak ?pool ~smoke ~sweep () =
+  let module Soak = Stob_check.Soak in
+  hr
+    (if smoke then "TCP soak (smoke): population flows under the invariant monitor"
+     else "TCP soak: >= 1M population flows under the invariant monitor");
+  let config = if smoke then Soak.smoke_config else Soak.default_config in
+  let jobs = match pool with None -> 1 | Some p -> Pool.domains p in
+  let allowed_growth_bytes = 64 * 1024 * 1024 * max 1 jobs in
+  let start = Unix.gettimeofday () in
+  let summary =
+    Soak.run ?pool ?state_dir:sweep.state_dir ~retries:sweep.retries
+      ~on_shard:(fun r ->
+        Printf.printf
+          "  shard %02d%s: %6d flows, %6d completed, rtx %6d, probes %4d, zero-wnd %4d, \
+           violations %d\n\
+           %!"
+          r.Soak.shard
+          (if r.Soak.faulted then Printf.sprintf " (faults %3d)" r.Soak.faults else "")
+          r.Soak.flows r.Soak.completed r.Soak.retransmissions r.Soak.persist_probes
+          r.Soak.zero_window_flows r.Soak.total_violations)
+      config
+  in
+  let wall = Unix.gettimeofday () -. start in
+  Format.printf "%a@." Soak.pp_summary summary;
+  Printf.printf "wall: %.1f s (--jobs %d)\n%!" wall jobs;
+  let failed = ref false in
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.printf "soak FAILURE: %s\n" s;
+        failed := true)
+      fmt
+  in
+  if not smoke then begin
+    if summary.Soak.flows < 1_000_000 then
+      fail "only %d flows driven (the full soak must sustain >= 1M)" summary.Soak.flows
+  end;
+  if summary.Soak.completed < summary.Soak.flows then
+    fail "%d of %d flows did not complete within their horizon"
+      (summary.Soak.flows - summary.Soak.completed)
+      summary.Soak.flows;
+  if summary.Soak.fault_free_violations > 0 then
+    fail "%d invariant violations on fault-free shards: %s" summary.Soak.fault_free_violations
+      (String.concat ", "
+         (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) summary.Soak.violations));
+  (* The mix must actually exercise the new machinery. *)
+  if summary.Soak.persist_probes = 0 then fail "no persist probes fired";
+  if summary.Soak.zero_window_flows = 0 then fail "no flow ever closed the window";
+  if summary.Soak.slow_reader_flows = 0 then fail "no slow-reader flows in the mix";
+  if summary.Soak.sack_off_flows = 0 then fail "no SACK-refusing flows in the mix";
+  if summary.Soak.wscale_off_flows = 0 then fail "no wscale-refusing flows in the mix";
+  if summary.Soak.faults = 0 then fail "chaos dimension never armed";
+  if summary.Soak.peak_heap_growth_words * 8 > allowed_growth_bytes then
+    fail "live heap grew %d MiB (bound %d MiB): flows are accumulating instead of being reaped"
+      (summary.Soak.peak_heap_growth_words * 8 / 1048576)
+      (allowed_growth_bytes / 1048576);
+  (* Jobs parity: the soak must be bit-identical under a real pool.  Smoke
+     only — the full run's parity is implied by the same pre-split-seed
+     construction. *)
+  if smoke && sweep.state_dir = None then begin
+    let reports s = s.Soak.reports in
+    let par = Pool.with_pool ~domains:4 (fun p -> Soak.run ~pool:p config) in
+    if reports par <> reports summary then fail "smoke soak differs between --jobs 1 and --jobs 4"
+  end;
+  if !failed then exit 1;
+  Printf.printf "soak: all gates passed\n"
+
+(* ------------------------------------------------------------------ *)
 (* Smoke: assert that parallelism cannot change results.  Tiny inputs,
    real domains — run by `dune runtest` through the @quick-bench alias. *)
 
@@ -1022,6 +1097,7 @@ let () =
   | [ "micro" ] -> run_micro ~jobs ()
   | [ "forest" ] -> run_forest ~smoke:!smoke ()
   | [ "simperf" ] -> run_simperf ~smoke:!smoke ()
+  | [ "soak" ] -> with_jobs (fun pool -> run_soak ?pool ~smoke:!smoke ~sweep ())
   | [ "population-soak" ] ->
       with_jobs (fun pool -> run_population_soak ?pool ~flows_target:100_000 ())
   | [ "netem" ] ->
@@ -1033,5 +1109,5 @@ let () =
       prerr_endline
         "usage: main.exe [--jobs N] [--loss F] [--reorder] [--netem-seed N] [--chaos-seed N] \
          [--smoke] [--state-dir DIR] [--retries N] [--strict] \
-         [quick|smoke|resume-smoke|table1|table2|table2-quick|fig1|fig2|fig3|fig3-quick|ablation-stack|ablation-cca|ablation-quic|openworld|cca-id|httpos|importance|early-curve|dl|pareto|micro|forest|simperf|population-soak|netem|chaos]";
+         [quick|smoke|resume-smoke|table1|table2|table2-quick|fig1|fig2|fig3|fig3-quick|ablation-stack|ablation-cca|ablation-quic|openworld|cca-id|httpos|importance|early-curve|dl|pareto|micro|forest|simperf|soak|population-soak|netem|chaos]";
       exit 2

@@ -818,6 +818,88 @@ let population_cmd =
       const population $ users $ shards $ background $ zipf $ sessions $ visits $ cap $ mode
       $ seed $ dir $ jobs)
 
+(* --- soak ------------------------------------------------------------- *)
+
+let soak smoke users shards fault_period horizon soak_seed state_dir retries jobs =
+  let module Soak = Stob_check.Soak in
+  let base = if smoke then Soak.smoke_config else Soak.default_config in
+  let population =
+    {
+      base.Soak.population with
+      Population.users = Option.value users ~default:base.Soak.population.Population.users;
+      shards = Option.value shards ~default:base.Soak.population.Population.shards;
+      seed = soak_seed;
+    }
+  in
+  let config = { Soak.population; flow_horizon = horizon; fault_period } in
+  let summary =
+    with_jobs jobs (fun pool ->
+        Soak.run ?pool ?state_dir ~retries
+          ~on_shard:(fun r ->
+            Printf.eprintf "soak: shard %02d%s %d/%d flows, %d probes, %d violations\n%!"
+              r.Soak.shard
+              (if r.Soak.faulted then " (faulted)" else "")
+              r.Soak.completed r.Soak.flows r.Soak.persist_probes r.Soak.total_violations)
+          config)
+  in
+  Format.printf "%a@." Soak.pp_summary summary;
+  if summary.Soak.completed < summary.Soak.flows then begin
+    Printf.eprintf "soak: %d flows incomplete\n"
+      (summary.Soak.flows - summary.Soak.completed);
+    exit 1
+  end;
+  if summary.Soak.fault_free_violations > 0 then begin
+    Printf.eprintf "soak: %d invariant violations on fault-free shards\n"
+      summary.Soak.fault_free_violations;
+    exit 1
+  end
+
+let soak_cmd =
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Run the CI-sized soak (a few thousand flows) instead of the full >= 1M-flow \
+                   battery.")
+  in
+  let users =
+    Arg.(value & opt (some (nonneg_int_conv ~docv:"N")) None
+         & info [ "users" ] ~docv:"N"
+             ~doc:"Override the population size (expected flows = users x sessions x visits).")
+  in
+  let shards =
+    Arg.(value & opt (some (pos_int_conv ~docv:"N")) None
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Fixed shard count (independent of $(b,--jobs); reports are jobs-invariant).")
+  in
+  let fault_period =
+    Arg.(value & opt (nonneg_int_conv ~docv:"N") 4
+         & info [ "fault-period" ] ~docv:"N"
+             ~doc:"Arm the chaos dimension (pacer-clock jumps) on every $(docv)th shard; 0 \
+                   disables faults.")
+  in
+  let horizon =
+    Arg.(value & opt (pos_float_conv ~docv:"SECONDS") 120.0
+         & info [ "flow-horizon" ] ~docv:"SECONDS"
+             ~doc:"Per-flow lifetime before the reaper harvests it.")
+  in
+  let soak_seed =
+    Arg.(value & opt int 271
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Population seed; per-flow seeds are pre-split from the visit plan, so \
+                   reports are identical at every $(b,--jobs) level.")
+  in
+  Cmd.v
+    (cmd_info "soak"
+       ~doc:
+         "Run the TCP endurance soak: population-scale request/response flows (slow readers, \
+          zero windows, refused SACK/wscale, reduced MSS, lossy links, chaos pacer faults) \
+          with every endpoint under the invariant monitor.  Gates: every flow completes and \
+          fault-free shards are violation-free.  With $(b,--state-dir) the soak is crash-safe \
+          and resumable.")
+    Term.(
+      const soak $ smoke $ users $ shards $ fault_period $ horizon $ soak_seed $ state_dir_arg
+      $ retries_arg $ jobs)
+
 let main_cmd =
   let doc = "stack-level traffic obfuscation (Stob) reproduction toolkit" in
   Cmd.group (Cmd.info "stobctl" ~version:"1.0.0" ~doc ~exits)
@@ -825,7 +907,7 @@ let main_cmd =
       gen_dataset_cmd; attack_cmd; load_cmd; policies_cmd; table1_cmd; table2_cmd; fig3_cmd;
       arch_cmd; ablation_stack_cmd; ablation_cca_cmd; ablation_quic_cmd; openworld_cmd;
       pareto_cmd; resume_cmd; status_cmd; cca_id_cmd; httpos_cmd; importance_cmd; netem_cmd;
-      chaos_cmd; population_cmd;
+      chaos_cmd; population_cmd; soak_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -160,6 +160,17 @@ let check_inspection ~config (i : Endpoint.inspection) =
   else if i.in_stack < 0 then Some ("tcp-tsq-accounting", Printf.sprintf "in_stack %d < 0" i.in_stack)
   else if i.app_queue < 0 then
     Some ("tcp-app-queue", Printf.sprintf "app_queue %d < 0" i.app_queue)
+  else if i.adv_wnd < 0 then Some ("tcp-adv-window", Printf.sprintf "adv_wnd %d < 0" i.adv_wnd)
+  else if i.adv_wnd + i.rcv_buffered > i.rcv_capacity then
+    (* The window granted to the peer plus data already delivered-but-unread
+       must fit the receive buffer, or the advertisement promises space the
+       receiver does not have. *)
+    Some
+      ( "tcp-adv-window",
+        Printf.sprintf "advertised window %d + buffered %d exceeds buffer %d" i.adv_wnd
+          i.rcv_buffered i.rcv_capacity )
+  else if i.peer_rwnd < 0 then
+    Some ("tcp-peer-window", Printf.sprintf "decoded peer window %d < 0" i.peer_rwnd)
   else begin
     (* SACK sanity: sorted, disjoint, non-empty blocks inside (snd_una, snd_nxt]. *)
     let rec sack_bad prev_hi = function
@@ -201,6 +212,19 @@ let observe_endpoint t ~name ep =
     | Some (invariant, detail) ->
         record t (Violation.make ~invariant ~time:now ~flow (name ^ ": " ^ detail))
     | None -> ());
+    (* Sender window respect, checked at commitment time: the stack may
+       never propose a segment that pushes snd_nxt past
+       snd_una + min(cwnd, peer window).  (Persist probes and
+       retransmissions bypass the hook, so they cannot false-positive
+       here.) *)
+    let usable = max 0 (min i.Endpoint.cwnd i.Endpoint.peer_rwnd - i.Endpoint.inflight) in
+    if d.Hooks.tso_bytes > usable then
+      record t
+        (Violation.make ~invariant:"tcp-window-respect" ~time:now ~flow
+           (Printf.sprintf
+              "%s: stack proposed %d bytes with only %d usable (cwnd %d, peer_rwnd %d, inflight %d)"
+              name d.Hooks.tso_bytes usable i.Endpoint.cwnd i.Endpoint.peer_rwnd
+              i.Endpoint.inflight));
     if i.Endpoint.pacer_next_free < !last_horizon then
       record t
         (Violation.make ~invariant:"tcp-pacing-monotone" ~time:now ~flow

@@ -29,6 +29,15 @@
       window.
     - [tcp-tsq-accounting], [tcp-app-queue] — byte accounting never
       negative.
+    - [tcp-adv-window] — the receive window granted to the peer plus
+      delivered-but-unread bytes never exceeds the receive buffer (the
+      advertisement never promises space the receiver does not have), and
+      is never negative.
+    - [tcp-peer-window] — the wscale-decoded peer window is never negative.
+    - [tcp-window-respect] — at hook (commitment) time the stack never
+      proposes a segment pushing [snd_nxt] past
+      [snd_una + min cwnd peer_rwnd].  Persist probes and retransmissions
+      bypass the hook, so recovery traffic cannot false-positive here.
     - [tcp-pacing-monotone] — the booked fq horizon never moves backwards.
     - [tcp-stack-departure] — the stack never proposes a departure in the
       past.

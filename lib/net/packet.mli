@@ -30,10 +30,17 @@ type t = {
       (** Retransmission of previously sent sequence space.  Not a real wire
           bit — an oracle the simulation keeps so captures can separate
           first transmissions from recovery traffic under impairment. *)
-  rwnd : int;  (** Advertised receive window, in bytes. *)
+  rwnd : int;
+      (** Advertised receive window.  On a SYN the field is the raw unscaled
+          window (at most 65535); after a successful window-scale negotiation
+          every other segment carries the window right-shifted by the
+          advertiser's shift count (RFC 7323). *)
   sack : (int * int) list;
       (** SACK blocks: received-but-not-yet-acked [lo, hi) byte ranges (at
           most three, like real TCP options). *)
+  mss_opt : int option;  (** SYN-only MSS option. *)
+  wscale_opt : int option;  (** SYN-only window-scale option (shift count). *)
+  sack_permitted : bool;  (** SYN-only SACK-permitted option. *)
 }
 
 val default_header_bytes : int
@@ -70,8 +77,20 @@ val pure_ack :
 (** Payload-less acknowledgement, optionally carrying SACK blocks. *)
 
 val syn :
-  flow:int -> dir:direction -> seq:int -> ?ack:int option -> ?rtx:bool -> rwnd:int -> unit -> t
-(** SYN, or SYN|ACK when [ack] is provided.  Occupies one sequence number. *)
+  flow:int ->
+  dir:direction ->
+  seq:int ->
+  ?ack:int option ->
+  ?rtx:bool ->
+  ?mss:int ->
+  ?wscale:int ->
+  ?sack_permitted:bool ->
+  rwnd:int ->
+  unit ->
+  t
+(** SYN, or SYN|ACK when [ack] is provided.  Occupies one sequence number.
+    The options default to absent, which models a peer that negotiates
+    nothing (no MSS clamp, no window scaling, no SACK). *)
 
 val seq_end : t -> int
 (** Sequence number just past this packet's payload (SYN/FIN occupy one

@@ -523,7 +523,7 @@ let process_ack t ranges =
     let rtt_for_cc =
       match sample with Some s -> s | None -> Option.value ~default:0.1 (Rtt.srtt t.rtt)
     in
-    t.cc.Cc.on_ack ~now:(now t) ~acked:total ~rtt:rtt_for_cc ~inflight:t.inflight;
+    t.cc.Cc.on_ack ~now:(now t) ~acked:total ~rtt:rtt_for_cc ~inflight:t.inflight ~limited:false;
     (* Packet-number threshold loss detection. *)
     let threshold = t.largest_acked - loss_threshold in
     let lost =

@@ -51,7 +51,7 @@ let make (config : Config.t) : Cc.t =
     | Cc.Probe_bw -> probe_gains.(s.cycle_index)
     | _ -> 1.0
   in
-  let on_ack ~now ~acked ~rtt ~inflight =
+  let on_ack ~now ~acked ~rtt ~inflight ~limited =
     if rtt < s.min_rtt then s.min_rtt <- rtt;
     s.delivered <- s.delivered + acked;
     (* A "round" is one window's worth of delivery. *)
@@ -64,7 +64,14 @@ let make (config : Config.t) : Cc.t =
        the sample epoch (the ACK-clock rate), not acked/rtt — several ACKs
        arrive per RTT, so the latter underestimates grossly.  The windowed
        max filters out ACK compression. *)
-    (if s.rate_epoch_time < 0.0 then begin
+    (if s.rate_epoch_time < 0.0 || limited then begin
+       (* App/rwnd-limited delivery measures the starvation, not the path:
+          a persist-probe byte acked across a zero-window stall reads as a
+          few bits per second, and because probe acks advance the round
+          counter, inserting it would flush every healthy sample from the
+          windowed max — collapsing the pacing rate and wedging the flow
+          (nothing is ever delivered again to re-measure).  Restart the
+          sample epoch and admit nothing. *)
        s.rate_epoch_time <- now;
        s.rate_epoch_delivered <- s.delivered
      end

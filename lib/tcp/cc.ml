@@ -10,7 +10,7 @@ let phase_name = function
 
 type t = {
   name : string;
-  on_ack : now:float -> acked:int -> rtt:float -> inflight:int -> unit;
+  on_ack : now:float -> acked:int -> rtt:float -> inflight:int -> limited:bool -> unit;
   on_loss : now:float -> unit;
   on_rto : now:float -> unit;
   cwnd : unit -> int;

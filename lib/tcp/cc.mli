@@ -20,9 +20,13 @@ val phase_name : phase -> string
 
 type t = {
   name : string;
-  on_ack : now:float -> acked:int -> rtt:float -> inflight:int -> unit;
+  on_ack : now:float -> acked:int -> rtt:float -> inflight:int -> limited:bool -> unit;
       (** New data acknowledged: [acked] bytes, with an [rtt] sample and the
-          bytes still in flight after the ACK. *)
+          bytes still in flight after the ACK.  [limited] marks an ACK whose
+          data was sent while the flow was starved by the peer window or by
+          lack of application data (the tcp_rate_check_app_limited rule):
+          such ACKs measure the starvation, not the path, and rate-based
+          controllers must not let them collapse their bandwidth estimate. *)
   on_loss : now:float -> unit;  (** Fast-retransmit-detected loss. *)
   on_rto : now:float -> unit;  (** Retransmission timeout. *)
   cwnd : unit -> int;  (** Congestion window, bytes. *)

@@ -14,6 +14,9 @@ type t = {
   pacing : bool;
   pacing_segment_interval : float;
   tsq_limit_bytes : int;
+  sack : bool;
+  wscale : bool;
+  persist_max : float;
 }
 
 let default =
@@ -33,7 +36,16 @@ let default =
     pacing = true;
     pacing_segment_interval = 1e-3;
     tsq_limit_bytes = 256 * 1024;
+    sack = true;
+    wscale = true;
+    persist_max = 60.0;
   }
+
+(* Smallest shift count that makes [rcv_wnd] representable in the 16-bit
+   window field, clamped to the RFC 7323 maximum of 14. *)
+let wscale_shift t =
+  let rec go s = if s >= 14 || t.rcv_wnd lsr s <= 0xFFFF then s else go (s + 1) in
+  go 0
 
 let packet_overhead t = t.header_bytes
 

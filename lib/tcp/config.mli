@@ -24,12 +24,20 @@ type t = {
           roughly every this many seconds at the current pacing rate (the
           Linux behaviour that shrinks TSO on long-RTT paths). *)
   tsq_limit_bytes : int;  (** TCP small queues: max unsent bytes in stack. *)
+  sack : bool;  (** Offer SACK-permitted on SYN; use SACK when both sides do. *)
+  wscale : bool;  (** Offer window scaling on SYN (RFC 7323). *)
+  persist_max : float;
+      (** Upper bound on the zero-window persist-probe backoff, seconds. *)
 }
 
 val default : t
 
 val packet_overhead : t -> int
 (** Alias for [header_bytes]. *)
+
+val wscale_shift : t -> int
+(** Smallest shift count that makes [rcv_wnd] fit the 16-bit window field,
+    clamped to 14 (RFC 7323). *)
 
 val tso_autosize : t -> pacing_rate_bps:float -> int
 (** The stack's TSO sizing decision: segment bytes such that segments depart

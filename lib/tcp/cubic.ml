@@ -55,7 +55,7 @@ let make (config : Config.t) : Cc.t =
       s.cwnd <- min s.config.snd_buf (s.cwnd + bytes incr)
     end
   in
-  let on_ack ~now ~acked ~rtt ~inflight:_ =
+  let on_ack ~now ~acked ~rtt ~inflight:_ ~limited:_ =
     update_srtt rtt;
     (match s.phase with
     | Cc.Recovery ->

@@ -21,6 +21,12 @@ type t = {
   mutable state : conn_state;
   mutable fin_rcvd : bool;
   mutable fin_acked : bool;
+  (* --- negotiated options (fixed after the handshake) --- *)
+  mutable snd_mss : int;  (* min of our MSS and the peer's MSS option *)
+  mutable sack_ok : bool;  (* both sides sent SACK-permitted *)
+  mutable wscale_on : bool;  (* both SYNs carried the wscale option *)
+  mutable snd_wscale : int;  (* shift for windows the peer advertises *)
+  mutable rcv_wscale : int;  (* shift for windows we advertise *)
   (* --- sender --- *)
   mutable snd_una : int;
   mutable snd_nxt : int;
@@ -38,6 +44,13 @@ type t = {
   mutable sent_log : sent_record list;  (* newest first *)
   mutable rto_timer : Engine.event_id option;
   mutable send_timer : Engine.event_id option;
+  mutable persist_timer : Engine.event_id option;
+  mutable persist_backoff : float;  (* current persist-probe delay *)
+  mutable rate_limited_mark : int;
+      (* Sequence point up to which delivery-rate samples are tainted: set
+         to [snd_una + inflight] whenever sending is starved by the peer
+         window or by lack of application data, so ACKs at or below it are
+         flagged app/rwnd-limited to the CCA (tcp_rate_check_app_limited). *)
   mutable in_stack : int;
   pacer : Pacer.t;
   rtt : Rtt.t;
@@ -47,6 +60,9 @@ type t = {
   mutable fin_seq : int option;  (* sequence number the peer's FIN occupies *)
   mutable unacked_pkts : int;
   mutable delack_timer : Engine.event_id option;
+  mutable auto_read : bool;  (* application consumes delivery immediately *)
+  mutable rcv_buffered : int;  (* delivered but unread bytes ([auto_read] off) *)
+  mutable rcv_adv_edge : int;  (* highest rcv_nxt + window ever advertised *)
   (* --- callbacks --- *)
   mutable on_established : unit -> unit;
   mutable on_receive : int -> unit;
@@ -57,6 +73,9 @@ type t = {
   mutable rto_events : int;
   mutable segments_sent : int;
   mutable packets_sent : int;
+  mutable persist_probes : int;
+  mutable zero_windows : int;
+  mutable dummies_suppressed : int;
 }
 
 let create ~engine ~config ~cc ~flow ~dir ?cpu ?(hooks = Hooks.default) ~tx () =
@@ -72,12 +91,18 @@ let create ~engine ~config ~cc ~flow ~dir ?cpu ?(hooks = Hooks.default) ~tx () =
     state = Closed;
     fin_rcvd = false;
     fin_acked = false;
+    snd_mss = config.Config.mss;
+    sack_ok = false;
+    wscale_on = false;
+    snd_wscale = 0;
+    rcv_wscale = 0;
     snd_una = 0;
     snd_nxt = 0;
     app_queue = 0;
     fin_pending = false;
     fin_sent = false;
-    peer_rwnd = config.Config.rcv_wnd;
+    (* Nothing is known about the peer's window until its SYN arrives. *)
+    peer_rwnd = 0;
     dupacks = 0;
     karn_floor = 0;
     sacked = [];
@@ -88,6 +113,9 @@ let create ~engine ~config ~cc ~flow ~dir ?cpu ?(hooks = Hooks.default) ~tx () =
     sent_log = [];
     rto_timer = None;
     send_timer = None;
+    persist_timer = None;
+    persist_backoff = config.Config.rto_init;
+    rate_limited_mark = 0;
     in_stack = 0;
     pacer = Pacer.create ();
     rtt = Rtt.create config;
@@ -96,6 +124,9 @@ let create ~engine ~config ~cc ~flow ~dir ?cpu ?(hooks = Hooks.default) ~tx () =
     fin_seq = None;
     unacked_pkts = 0;
     delack_timer = None;
+    auto_read = true;
+    rcv_buffered = 0;
+    rcv_adv_edge = 0;
     on_established = (fun () -> ());
     on_receive = (fun _ -> ());
     on_fin = (fun () -> ());
@@ -104,6 +135,9 @@ let create ~engine ~config ~cc ~flow ~dir ?cpu ?(hooks = Hooks.default) ~tx () =
     rto_events = 0;
     segments_sent = 0;
     packets_sent = 0;
+    persist_probes = 0;
+    zero_windows = 0;
+    dummies_suppressed = 0;
   }
 
 let established t = t.state = Established_s
@@ -117,6 +151,9 @@ let fast_recoveries t = t.fast_recoveries
 let rto_events t = t.rto_events
 let segments_sent t = t.segments_sent
 let packets_sent t = t.packets_sent
+let persist_probes t = t.persist_probes
+let zero_windows t = t.zero_windows
+let dummies_suppressed t = t.dummies_suppressed
 let srtt t = Rtt.srtt t.rtt
 let set_on_established t f = t.on_established <- f
 let set_on_receive t f = t.on_receive <- f
@@ -127,6 +164,42 @@ let cc t = t.cc
 let config t = t.config
 
 let now t = Engine.now t.engine
+
+(* ------------------------------------------------------------------ *)
+(* Receive window                                                       *)
+
+let ooo_bytes t = List.fold_left (fun acc (lo, hi) -> acc + (hi - lo)) 0 t.ooo
+
+(* Free receive-buffer space beyond rcv_nxt: capacity minus what is sitting
+   in the reassembly queue and what was delivered in order but not yet read
+   by the application. *)
+let rcv_window t = max 0 (t.config.Config.rcv_wnd - t.rcv_buffered - ooo_bytes t)
+
+(* Encode the window for the wire (RFC 7323: right-shifted by our shift
+   count, saturating the 16-bit field) and remember the right edge the peer
+   will compute, so the receive path never drops data it was granted.
+
+   RFC 793/1122: never retract an advertised right edge.  Free space
+   transiently dips below the granted edge while out-of-order data occupies
+   the reassembly buffer; advertising the dip would both "shrink the
+   window" (forbidden) and make consecutive duplicate ACKs carry different
+   windows, which disqualifies them as duplicates (RFC 5681) and silently
+   kills fast retransmit. *)
+let advertise_window t =
+  let w = max (rcv_window t) (t.rcv_adv_edge - t.rcv_nxt) in
+  let enc = min 0xFFFF (w lsr t.rcv_wscale) in
+  t.rcv_adv_edge <- max t.rcv_adv_edge (t.rcv_nxt + (enc lsl t.rcv_wscale));
+  enc
+
+(* The window field of a SYN or SYN|ACK is never scaled. *)
+let syn_window t =
+  let w = min 0xFFFF (rcv_window t) in
+  t.rcv_adv_edge <- max t.rcv_adv_edge (t.rcv_nxt + w);
+  w
+
+let advertised_window t = max 0 (t.rcv_adv_edge - t.rcv_nxt)
+let rcv_buffered t = t.rcv_buffered
+let set_auto_read t b = t.auto_read <- b
 
 (* ------------------------------------------------------------------ *)
 (* Transmission helpers                                                 *)
@@ -159,17 +232,21 @@ let commit_segment t ~departure packets =
 
 let send_control t packet = transmit_burst t [| packet |]
 
-let send_pure_ack t =
-  (match t.delack_timer with
+let cancel_delack t =
+  match t.delack_timer with
   | Some ev ->
       Engine.cancel t.engine ev;
       t.delack_timer <- None
-  | None -> ());
+  | None -> ()
+
+let send_pure_ack t =
+  cancel_delack t;
   t.unacked_pkts <- 0;
   let rec take n = function [] -> [] | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest in
+  let sack = if t.sack_ok then take 3 t.ooo else [] in
   send_control t
-    (Packet.pure_ack ~flow:t.flow ~dir:t.dir ~seq:t.snd_nxt ~ack:t.rcv_nxt ~sack:(take 3 t.ooo)
-       ~rwnd:t.config.Config.rcv_wnd ())
+    (Packet.pure_ack ~flow:t.flow ~dir:t.dir ~seq:t.snd_nxt ~ack:t.rcv_nxt ~sack
+       ~rwnd:(advertise_window t) ())
 
 (* Insert [lo, hi) into a sorted disjoint interval list, coalescing
    overlapping and adjacent intervals. *)
@@ -186,7 +263,8 @@ let insert_interval intervals lo hi =
 (* SACK scoreboard and hole retransmission                              *)
 
 let merge_sack t blocks =
-  List.iter (fun (lo, hi) -> if hi > lo then t.sacked <- insert_interval t.sacked lo hi) blocks;
+  if t.sack_ok then
+    List.iter (fun (lo, hi) -> if hi > lo then t.sacked <- insert_interval t.sacked lo hi) blocks;
   (* Drop ranges cumulative ACKs have overtaken. *)
   t.sacked <-
     List.filter_map
@@ -202,7 +280,7 @@ let sacked_bytes t = List.fold_left (fun acc (lo, hi) -> acc + (hi - lo)) 0 t.sa
 let rtx_budget t =
   let top = List.fold_left (fun acc (_, hi) -> max acc hi) t.snd_una t.sacked in
   let pipe = max 0 (t.snd_nxt - top) in
-  let budget = (t.cc.Cc.cwnd () - pipe) / max 1 t.config.Config.mss in
+  let budget = (t.cc.Cc.cwnd () - pipe) / max 1 t.snd_mss in
   min 45 (max 1 budget)
 
 (* Retransmit up to [limit] MSS-sized chunks of un-SACKed holes, resuming
@@ -224,7 +302,15 @@ let rtx_budget t =
 let retransmit_holes ?(presume_lost = false) t ~limit =
   let scan_end =
     if presume_lost then t.recover_point
-    else min t.recover_point (List.fold_left (fun acc (_, hi) -> max acc hi) t.snd_una t.sacked)
+    else
+      let top_sack = List.fold_left (fun acc (_, hi) -> max acc hi) t.snd_una t.sacked in
+      if top_sack > t.snd_una then min t.recover_point top_sack
+      else
+        (* No SACK information — a non-SACK peer, or pure duplicate ACKs
+           without blocks.  RFC 6675 degenerates to nothing here; fall back
+           to NewReno and presume exactly the head segment lost, or fast
+           retransmit would send nothing at all. *)
+        min t.recover_point (t.snd_una + t.snd_mss)
   in
   let fin_slot = if t.fin_sent then t.snd_nxt - 1 else max_int in
   let rec go pos sacked remaining =
@@ -234,13 +320,13 @@ let retransmit_holes ?(presume_lost = false) t ~limit =
       | _ ->
           let cap = match sacked with (lo, _) :: _ -> min lo scan_end | [] -> scan_end in
           if cap > pos then begin
-            let payload = min t.config.Config.mss (max 0 (min cap fin_slot - pos)) in
+            let payload = min t.snd_mss (max 0 (min cap fin_slot - pos)) in
             let fin_here = t.fin_sent && pos + payload = fin_slot && cap > fin_slot in
             t.retransmissions <- t.retransmissions + 1;
             t.karn_floor <- t.snd_nxt;
             let pkt =
               Packet.data ~flow:t.flow ~dir:t.dir ~seq:pos ~ack:t.rcv_nxt ~payload ~fin:fin_here
-                ~rtx:true ~rwnd:t.config.Config.rcv_wnd ()
+                ~rtx:true ~rwnd:(advertise_window t) ()
             in
             transmit_segment t [| pkt |];
             let advance = max 1 (payload + if fin_here then 1 else 0) in
@@ -259,6 +345,27 @@ let cancel_rto t =
       Engine.cancel t.engine ev;
       t.rto_timer <- None
   | None -> ()
+
+let cancel_persist t =
+  match t.persist_timer with
+  | Some ev ->
+      Engine.cancel t.engine ev;
+      t.persist_timer <- None
+  | None -> ()
+
+(* The SYN carries our options offer; the SYN|ACK echoes only what was
+   mutually agreed, so a retransmitted copy must repeat the same offer. *)
+let send_syn t ~rtx =
+  send_control t
+    (Packet.syn ~flow:t.flow ~dir:t.dir ~seq:0 ~rtx ~mss:t.config.Config.mss
+       ?wscale:(if t.config.Config.wscale then Some (Config.wscale_shift t.config) else None)
+       ~sack_permitted:t.config.Config.sack ~rwnd:(syn_window t) ())
+
+let send_synack t ~rtx =
+  send_control t
+    (Packet.syn ~flow:t.flow ~dir:t.dir ~seq:0 ~ack:(Some t.rcv_nxt) ~rtx ~mss:t.config.Config.mss
+       ?wscale:(if t.wscale_on then Some (Config.wscale_shift t.config) else None)
+       ~sack_permitted:t.sack_ok ~rwnd:(syn_window t) ())
 
 let rec arm_rto t =
   cancel_rto t;
@@ -295,13 +402,8 @@ and retransmit_head t =
   t.retransmissions <- t.retransmissions + 1;
   t.karn_floor <- max 1 t.snd_nxt;
   match t.state with
-  | Syn_sent ->
-      send_control t
-        (Packet.syn ~flow:t.flow ~dir:t.dir ~seq:0 ~rtx:true ~rwnd:t.config.Config.rcv_wnd ())
-  | Syn_rcvd ->
-      send_control t
-        (Packet.syn ~flow:t.flow ~dir:t.dir ~seq:0 ~ack:(Some t.rcv_nxt) ~rtx:true
-           ~rwnd:t.config.Config.rcv_wnd ())
+  | Syn_sent -> send_syn t ~rtx:true
+  | Syn_rcvd -> send_synack t ~rtx:true
   | Established_s | Closed ->
       let outstanding = t.snd_nxt - t.snd_una in
       if outstanding > 0 then begin
@@ -309,14 +411,75 @@ and retransmit_head t =
            not a payload byte: stop the rebuilt payload short of its slot
            and carry the flag when the segment reaches it. *)
         let fin_slot = if t.fin_sent then t.snd_nxt - 1 else max_int in
-        let payload = min t.config.Config.mss (min outstanding (max 0 (fin_slot - t.snd_una))) in
+        let payload = min t.snd_mss (min outstanding (max 0 (fin_slot - t.snd_una))) in
         let fin_here = t.fin_sent && t.snd_una + payload = fin_slot in
         let pkt =
           Packet.data ~flow:t.flow ~dir:t.dir ~seq:t.snd_una ~ack:t.rcv_nxt ~payload
-            ~fin:fin_here ~rtx:true ~rwnd:t.config.Config.rcv_wnd ()
+            ~fin:fin_here ~rtx:true ~rwnd:(advertise_window t) ()
         in
         transmit_segment t [| pkt |]
       end
+
+(* ------------------------------------------------------------------ *)
+(* Zero-window persist timer                                            *)
+
+(* When the peer closes its window with nothing left in flight, nothing
+   would ever clock another transmission: probe the closed window with one
+   byte past its edge (or the bare FIN), backing off exponentially up to
+   [persist_max].  Probes are stack-internal recovery traffic like
+   retransmissions — they bypass the Stob hooks — but still pass through
+   the TSQ/CPU path so their cost is accounted. *)
+let rec arm_persist t =
+  if t.persist_timer = None then
+    t.persist_timer <-
+      Some
+        (Engine.schedule t.engine
+           ~delay:(Float.min t.config.Config.persist_max t.persist_backoff)
+           (fun () ->
+             t.persist_timer <- None;
+             persist_fire t))
+
+and persist_fire t =
+  let want_fin = t.fin_pending && not t.fin_sent in
+  if
+    t.state = Established_s && t.peer_rwnd = 0 && (not t.fin_acked)
+    && (t.app_queue > 0 || want_fin || inflight t > 0)
+  then begin
+    t.persist_probes <- t.persist_probes + 1;
+    t.persist_backoff <- Float.min t.config.Config.persist_max (t.persist_backoff *. 2.0);
+    (* The probe itself is sent under starvation: its eventual ack must be
+       flagged rwnd-limited, so taint everything up to and including it. *)
+    t.rate_limited_mark <- max t.rate_limited_mark (t.snd_nxt + 1);
+    if inflight t > 0 then
+      (* An earlier probe (or the FIN) is still unacknowledged: probe by
+         resending the byte below the window, BSD-style. *)
+      retransmit_head t
+    else if t.app_queue > 0 then begin
+      let pkt =
+        Packet.data ~flow:t.flow ~dir:t.dir ~seq:t.snd_nxt ~ack:t.rcv_nxt ~payload:1
+          ~rwnd:(advertise_window t) ()
+      in
+      t.app_queue <- t.app_queue - 1;
+      t.snd_nxt <- t.snd_nxt + 1;
+      (* The probe byte is ambiguous for RTT sampling once retransmitted. *)
+      t.karn_floor <- t.snd_nxt;
+      commit_segment t ~departure:(now t) [| pkt |]
+    end
+    else begin
+      (* Only the FIN remains: the FIN consumes no buffer, but probing with
+         it keeps the close from deadlocking behind the closed window. *)
+      let seq = t.snd_nxt in
+      t.snd_nxt <- t.snd_nxt + 1;
+      t.fin_sent <- true;
+      t.karn_floor <- t.snd_nxt;
+      let pkt =
+        Packet.data ~flow:t.flow ~dir:t.dir ~seq ~ack:t.rcv_nxt ~payload:0 ~fin:true
+          ~rwnd:(advertise_window t) ()
+      in
+      commit_segment t ~departure:(now t) [| pkt |]
+    end;
+    arm_persist t
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Sender                                                               *)
@@ -330,14 +493,14 @@ let build_segment t ~payload ~packet_payload ~fin =
       let last = remaining - take <= 0 in
       let pkt =
         Packet.data ~flow:t.flow ~dir:t.dir ~seq ~ack:t.rcv_nxt ~payload:take
-          ~fin:(fin && last) ~rwnd:t.config.Config.rcv_wnd ()
+          ~fin:(fin && last) ~rwnd:(advertise_window t) ()
       in
       chunks (pkt :: acc) (seq + take) (remaining - take)
   in
   if payload = 0 && fin then
     [|
       Packet.data ~flow:t.flow ~dir:t.dir ~seq:t.snd_nxt ~ack:t.rcv_nxt ~payload:0 ~fin:true
-        ~rwnd:t.config.Config.rcv_wnd ();
+        ~rwnd:(advertise_window t) ();
     |]
   else Array.of_list (chunks [] t.snd_nxt payload)
 
@@ -347,7 +510,26 @@ let rec try_send t =
     let inflight_now = inflight t in
     let available_window = window - inflight_now in
     let want_fin = t.fin_pending && not t.fin_sent in
-    if (t.app_queue > 0 || want_fin) && available_window > 0 && t.in_stack < t.config.Config.tsq_limit_bytes
+    (* tcp_rate_check_app_limited: the congestion window has room but the
+       peer window (or the application) is starving the sender — everything
+       sent so far, probes included, will be acked under starvation and must
+       not be read as a path-bandwidth measurement. *)
+    if
+      ((t.app_queue > 0 || want_fin) && t.peer_rwnd = 0)
+      || (t.app_queue = 0 && (not want_fin) && available_window > 0)
+    then t.rate_limited_mark <- max t.rate_limited_mark t.snd_nxt;
+    if (t.app_queue > 0 || want_fin) && t.peer_rwnd = 0 && inflight_now = 0 then begin
+      (* Zero window and nothing in flight: no ACK will ever clock another
+         send.  Start persist probing from the current RTO estimate. *)
+      if t.persist_timer = None then begin
+        t.persist_backoff <- Rtt.rto t.rtt;
+        arm_persist t
+      end
+    end
+    else if
+      (t.app_queue > 0 || want_fin)
+      && available_window > 0
+      && t.in_stack < t.config.Config.tsq_limit_bytes
     then begin
       let pacing_rate = t.cc.Cc.pacing_rate () in
       let stack_tso = Config.tso_autosize t.config ~pacing_rate_bps:pacing_rate in
@@ -355,7 +537,7 @@ let rec try_send t =
       (* Sender-side silly-window avoidance: with data outstanding, wait for
          ACKs rather than dribbling sub-MSS segments. *)
       let sws_blocked =
-        payload_budget < t.config.Config.mss && inflight_now > 0 && t.app_queue > payload_budget
+        payload_budget < t.snd_mss && inflight_now > 0 && t.app_queue > payload_budget
       in
       if not sws_blocked then begin
         let fin_now = want_fin && t.app_queue <= payload_budget in
@@ -376,7 +558,7 @@ let rec try_send t =
             let stack_decision =
               {
                 Hooks.tso_bytes = max 1 payload_budget;
-                packet_payload = t.config.Config.mss;
+                packet_payload = t.snd_mss;
                 earliest_departure = departure;
               }
             in
@@ -419,21 +601,28 @@ let close t =
 
 let send_dummy t n =
   if n <= 0 then invalid_arg "Endpoint.send_dummy: byte count must be positive";
-  let pkt =
-    Packet.data ~flow:t.flow ~dir:t.dir ~seq:t.snd_nxt ~ack:t.rcv_nxt
-      ~payload:(min n t.config.Config.mss) ~dummy:true ~rwnd:t.config.Config.rcv_wnd ()
-  in
-  (* Dummies respect pacing budget so padding cannot out-run the CCA. *)
-  let rate = t.cc.Cc.pacing_rate () in
-  let departure = Pacer.next_departure t.pacer ~now:(now t) in
-  commit_segment t ~departure [| pkt |];
-  Pacer.commit t.pacer ~departure ~rate_bps:rate ~bytes:pkt.Packet.payload
+  if t.fin_pending then invalid_arg "Endpoint.send_dummy: connection is closing";
+  if t.state = Established_s && t.peer_rwnd = 0 then
+    (* A closed peer window means the receiver has no buffer for anything —
+       padding may not bypass flow control any more than data may. *)
+    t.dummies_suppressed <- t.dummies_suppressed + 1
+  else begin
+    let pkt =
+      Packet.data ~flow:t.flow ~dir:t.dir ~seq:t.snd_nxt ~ack:t.rcv_nxt
+        ~payload:(min n t.snd_mss) ~dummy:true ~rwnd:(advertise_window t) ()
+    in
+    (* Dummies respect pacing budget so padding cannot out-run the CCA. *)
+    let rate = t.cc.Cc.pacing_rate () in
+    let departure = Pacer.next_departure t.pacer ~now:(now t) in
+    commit_segment t ~departure [| pkt |];
+    Pacer.commit t.pacer ~departure ~rate_bps:rate ~bytes:pkt.Packet.payload
+  end
 
 let connect t =
   if t.state <> Closed then invalid_arg "Endpoint.connect: not closed";
   t.state <- Syn_sent;
   t.sent_log <- [ { end_seq = 1; sent_at = now t } ];
-  send_control t (Packet.syn ~flow:t.flow ~dir:t.dir ~seq:0 ~rwnd:t.config.Config.rcv_wnd ());
+  send_syn t ~rtx:false;
   arm_rto t
 
 (* Only packets that passed through [transmit_segment] (data, FIN, dummies)
@@ -465,9 +654,15 @@ let schedule_ack t =
    is what makes the FIN "received".  Returns [true] when the FIN was
    newly delivered by this call (the caller owes the peer an immediate
    ACK). *)
+let deliver_payload t n =
+  if n > 0 then begin
+    if not t.auto_read then t.rcv_buffered <- t.rcv_buffered + n;
+    t.on_receive n
+  end
+
 let deliver_in_order t seq_end payload_delivered =
   t.rcv_nxt <- seq_end;
-  if payload_delivered > 0 then t.on_receive payload_delivered;
+  deliver_payload t payload_delivered;
   let rec drain () =
     match t.ooo with
     | (lo, hi) :: rest when lo <= t.rcv_nxt ->
@@ -475,7 +670,7 @@ let deliver_in_order t seq_end payload_delivered =
         let new_bytes = max 0 (data_hi - t.rcv_nxt) in
         t.ooo <- rest;
         t.rcv_nxt <- max t.rcv_nxt hi;
-        if new_bytes > 0 then t.on_receive new_bytes;
+        deliver_payload t new_bytes;
         drain ()
     | _ -> ()
   in
@@ -487,9 +682,36 @@ let deliver_in_order t seq_end payload_delivered =
       true
   | _ -> false
 
+(* Consume up to [n] delivered-but-unread bytes from the receive buffer
+   (meaningful with [auto_read] off).  Re-opening buffer space re-opens the
+   advertised window; per RFC 1122 receiver-side SWS avoidance the bigger
+   window is only announced once it has grown by at least one MSS (or half
+   the buffer) over what the peer last saw, via an immediate window-update
+   ACK. *)
+let read t n =
+  if n < 0 then invalid_arg "Endpoint.read: negative byte count";
+  let consumed = min n t.rcv_buffered in
+  t.rcv_buffered <- t.rcv_buffered - consumed;
+  if consumed > 0 && t.state = Established_s && not t.fin_rcvd then begin
+    let announced = max 0 (t.rcv_adv_edge - t.rcv_nxt) in
+    let grown = rcv_window t - announced in
+    if grown >= min t.config.Config.mss (t.config.Config.rcv_wnd / 2) then send_pure_ack t
+  end;
+  consumed
+
 let process_ack t (p : Packet.t) =
   if p.Packet.is_ack && t.state = Established_s then begin
-    t.peer_rwnd <- max p.Packet.rwnd 1;
+    let old_rwnd = t.peer_rwnd in
+    (* Post-handshake windows arrive scaled by the peer's negotiated shift;
+       SYN windows are always raw (RFC 7323). *)
+    let rwnd = if p.Packet.syn then p.Packet.rwnd else p.Packet.rwnd lsl t.snd_wscale in
+    t.peer_rwnd <- rwnd;
+    if rwnd = 0 && old_rwnd > 0 then t.zero_windows <- t.zero_windows + 1;
+    if rwnd > 0 && t.persist_timer <> None then begin
+      (* The window re-opened: stop probing and restart the backoff. *)
+      cancel_persist t;
+      t.persist_backoff <- Rtt.rto t.rtt
+    end;
     if p.Packet.ack > t.snd_una then begin
       let acked = p.Packet.ack - t.snd_una in
       t.snd_una <- p.Packet.ack;
@@ -527,11 +749,18 @@ let process_ack t (p : Packet.t) =
         | Some s -> s
         | None -> Option.value ~default:0.1 (Rtt.srtt t.rtt)
       in
-      t.cc.Cc.on_ack ~now:(now t) ~acked ~rtt:rtt_for_cc ~inflight:(inflight t);
+      t.cc.Cc.on_ack ~now:(now t) ~acked ~rtt:rtt_for_cc ~inflight:(inflight t)
+        ~limited:(t.snd_una <= t.rate_limited_mark);
       if inflight t > 0 then arm_rto t else cancel_rto t;
       try_send t
     end
-    else if p.Packet.ack = t.snd_una && inflight t > 0 && p.Packet.payload = 0 && not p.Packet.syn
+    else if
+      p.Packet.ack = t.snd_una && inflight t > 0 && p.Packet.payload = 0 && (not p.Packet.syn)
+      && rwnd = old_rwnd && rwnd > 0
+      (* RFC 5681: an ACK that changes the advertised window is a window
+         update, not a duplicate — counting it toward the dupack threshold
+         fakes the sender into spurious fast retransmits.  During a zero
+         window the "duplicates" are just probe rejections. *)
     then begin
       t.dupacks <- t.dupacks + 1;
       merge_sack t p.Packet.sack;
@@ -555,19 +784,64 @@ let process_ack t (p : Packet.t) =
            the pipe budget. *)
         retransmit_holes t ~limit:(rtx_budget t)
     end
+    else if p.Packet.ack = t.snd_una && rwnd <> old_rwnd then begin
+      (* Pure window update (same cumulative ACK, different window). *)
+      if rwnd > 0 && old_rwnd = 0 && inflight t > 0 then begin
+        (* The zero-window probe sits unacknowledged below the re-opened
+           window: plug the hole now instead of waiting out a timeout. *)
+        retransmit_head t;
+        arm_rto t
+      end;
+      try_send t
+    end
   end
+
+(* SYN-time options negotiation (both the passive side reading the SYN and
+   the active side reading the SYN|ACK).  MSS: effective send MSS is the
+   minimum of ours and the peer's offer.  SACK and window scaling are in
+   effect only when both sides offered them; an incoming shift count above
+   14 is used as 14 (RFC 7323 clamp).  A SYN with no options is a peer that
+   negotiates nothing — SACK off, windows unscaled. *)
+let apply_syn_options t (p : Packet.t) =
+  (match p.Packet.mss_opt with
+  | Some m -> t.snd_mss <- max 1 (min t.config.Config.mss m)
+  | None -> ());
+  t.sack_ok <- t.config.Config.sack && p.Packet.sack_permitted;
+  match p.Packet.wscale_opt with
+  | Some s when t.config.Config.wscale ->
+      t.wscale_on <- true;
+      t.snd_wscale <- min 14 (max 0 s);
+      t.rcv_wscale <- Config.wscale_shift t.config
+  | _ ->
+      t.wscale_on <- false;
+      t.snd_wscale <- 0;
+      t.rcv_wscale <- 0
+
+(* Once both directions are done ([closed]) no timer has work left; a
+   pending delayed-ACK, persist probe, or parked pacer wakeup would fire
+   into a dead connection and keep the engine artificially busy. *)
+let quiesce t =
+  cancel_rto t;
+  cancel_persist t;
+  cancel_delack t;
+  match t.send_timer with
+  | Some ev ->
+      Engine.cancel t.engine ev;
+      t.send_timer <- None
+  | None -> ()
 
 let rec receive t (p : Packet.t) =
   if p.Packet.dummy then ( (* padding: observe and discard; never acknowledged *) )
   else begin
     (match (t.state, p.Packet.syn, p.Packet.is_ack) with
     | Closed, true, false ->
-        (* Passive open: answer SYN with SYN|ACK. *)
+        (* Passive open: answer SYN with SYN|ACK echoing the agreed options. *)
         t.state <- Syn_rcvd;
         t.rcv_nxt <- 1;
+        apply_syn_options t p;
+        t.peer_rwnd <- p.Packet.rwnd;
         t.sent_log <- [ { end_seq = 1; sent_at = now t } ];
-        send_control t
-          (Packet.syn ~flow:t.flow ~dir:t.dir ~seq:0 ~ack:(Some 1) ~rwnd:t.config.Config.rcv_wnd ());
+        send_synack t ~rtx:false;
         arm_rto t
     | Syn_sent, true, true ->
         (* SYN|ACK: complete the three-way handshake.  Karn's rule: if our
@@ -581,7 +855,8 @@ let rec receive t (p : Packet.t) =
             Rtt.observe t.rtt (now t -. sent_at)
         | _ -> ());
         t.sent_log <- [];
-        t.peer_rwnd <- max p.Packet.rwnd 1;
+        apply_syn_options t p;
+        t.peer_rwnd <- p.Packet.rwnd;
         cancel_rto t;
         t.state <- Established_s;
         send_pure_ack t;
@@ -597,6 +872,7 @@ let rec receive t (p : Packet.t) =
             Rtt.observe t.rtt (now t -. sent_at)
         | _ -> ());
         t.sent_log <- [];
+        t.peer_rwnd <- p.Packet.rwnd lsl t.snd_wscale;
         cancel_rto t;
         t.state <- Established_s;
         t.on_established ();
@@ -608,17 +884,24 @@ let rec receive t (p : Packet.t) =
            sampling (Karn). *)
         t.retransmissions <- t.retransmissions + 1;
         t.karn_floor <- max 1 t.karn_floor;
-        send_control t
-          (Packet.syn ~flow:t.flow ~dir:t.dir ~seq:0 ~ack:(Some 1) ~rtx:true
-             ~rwnd:t.config.Config.rcv_wnd ())
+        send_synack t ~rtx:true
     | _ ->
         process_ack t p;
-        process_data t p)
+        process_data t p);
+    if closed t then quiesce t
   end
 
 and process_data t (p : Packet.t) =
   if (p.Packet.payload > 0 || p.Packet.fin) && t.state = Established_s then begin
     let seq_end = Packet.seq_end p in
+    let data_end = seq_end - if p.Packet.fin then 1 else 0 in
+    if p.Packet.payload > 0 && data_end > t.rcv_adv_edge then
+      (* Payload beyond the advertised right edge — a zero-window probe, or
+         data sent against a stale window.  Drop the whole segment and
+         re-ACK so the sender sees the current window.  (A bare FIN is
+         never rejected: it consumes no buffer.) *)
+      send_pure_ack t
+    else begin
     (* Remember where the peer's FIN sits in sequence space, wherever the
        carrying segment lands (in order, buffered out of order, or inside a
        retransmission overlap): delivery past it is what closes the
@@ -644,6 +927,7 @@ and process_data t (p : Packet.t) =
     else
       (* Pure duplicate: re-ACK so the sender makes progress. *)
       send_pure_ack t
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -667,6 +951,18 @@ type inspection = {
   fin_acked : bool;
   retransmissions : int;
   pacer_next_free : float;
+  peer_rwnd : int;
+  adv_wnd : int;
+  rcv_buffered : int;
+  rcv_capacity : int;
+  snd_mss : int;
+  sack_ok : bool;
+  snd_wscale : int;
+  rcv_wscale : int;
+  persist_armed : bool;
+  delack_armed : bool;
+  persist_probes : int;
+  zero_windows : int;
 }
 
 let inspect (t : t) : inspection =
@@ -686,6 +982,18 @@ let inspect (t : t) : inspection =
     fin_acked = t.fin_acked;
     retransmissions = t.retransmissions;
     pacer_next_free = Pacer.next_free t.pacer;
+    peer_rwnd = t.peer_rwnd;
+    adv_wnd = max 0 (t.rcv_adv_edge - t.rcv_nxt);
+    rcv_buffered = t.rcv_buffered;
+    rcv_capacity = t.config.Config.rcv_wnd;
+    snd_mss = t.snd_mss;
+    sack_ok = t.sack_ok;
+    snd_wscale = t.snd_wscale;
+    rcv_wscale = t.rcv_wscale;
+    persist_armed = t.persist_timer <> None;
+    delack_armed = t.delack_timer <> None;
+    persist_probes = t.persist_probes;
+    zero_windows = t.zero_windows;
   }
 
 let inject_pacer_jump (t : t) delta = Pacer.jump t.pacer delta

@@ -52,7 +52,30 @@ val write : t -> int -> unit
 val send_dummy : t -> int -> unit
 (** Transmit a padding packet of [n] payload bytes.  Dummies consume pacing
     budget and CPU but no sequence space and are not acknowledged; the
-    receiver discards them.  Used by padding-style defenses. *)
+    receiver discards them.  Used by padding-style defenses.  Raises (like
+    {!write}) once the connection is closing; while the peer advertises a
+    zero window the dummy is suppressed and counted
+    ({!dummies_suppressed}) — padding may not bypass flow control. *)
+
+val read : t -> int -> int
+(** Consume up to [n] delivered-but-unread bytes from the receive buffer,
+    returning the count consumed.  Only meaningful with {!set_auto_read}
+    off; re-opening enough buffer space triggers a window-update ACK
+    (receiver-side silly-window avoidance). *)
+
+val set_auto_read : t -> bool -> unit
+(** With auto-read (the default) the application consumes payload the
+    instant it is delivered and the advertised window tracks the reassembly
+    queue only.  With auto-read off, delivered bytes accumulate in the
+    receive buffer until {!read}, shrinking the advertised window — the
+    slow-reader model that drives the window to zero. *)
+
+val rcv_buffered : t -> int
+(** Delivered-but-unread bytes held in the receive buffer. *)
+
+val advertised_window : t -> int
+(** Receive window the peer currently holds: the advertised right edge
+    minus [rcv_nxt], after window-scale decoding. *)
 
 val set_on_established : t -> (unit -> unit) -> unit
 val set_on_receive : t -> (int -> unit) -> unit
@@ -98,6 +121,17 @@ val rto_events : t -> int
 
 val segments_sent : t -> int
 val packets_sent : t -> int
+
+val persist_probes : t -> int
+(** Zero-window persist probes sent (exponentially backed off, capped at
+    {!Config.t.persist_max}). *)
+
+val zero_windows : t -> int
+(** Times the peer's advertised window transitioned to zero. *)
+
+val dummies_suppressed : t -> int
+(** Padding packets dropped because the peer's window was closed. *)
+
 val srtt : t -> float option
 
 val config : t -> Config.t
@@ -124,6 +158,18 @@ type inspection = {
   fin_acked : bool;
   retransmissions : int;
   pacer_next_free : float;
+  peer_rwnd : int;  (** Peer's advertised window after wscale decoding. *)
+  adv_wnd : int;  (** Window we have granted the peer beyond [rcv_nxt]. *)
+  rcv_buffered : int;  (** Delivered-but-unread bytes in the receive buffer. *)
+  rcv_capacity : int;  (** Configured receive-buffer size. *)
+  snd_mss : int;  (** Negotiated effective send MSS. *)
+  sack_ok : bool;  (** SACK negotiated by both sides. *)
+  snd_wscale : int;  (** Shift applied to windows the peer advertises. *)
+  rcv_wscale : int;  (** Shift applied to windows we advertise. *)
+  persist_armed : bool;
+  delack_armed : bool;
+  persist_probes : int;
+  zero_windows : int;
 }
 
 val inspect : t -> inspection

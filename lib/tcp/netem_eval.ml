@@ -41,7 +41,8 @@ let default_cells () =
 
 let run_cell ?(rate_bps = Units.mbps 20.0) ?(delay = 0.015) ?(queue_capacity = 256 * 1024)
     ?(request = 2_000) ?(response = 150_000) ?(duplicate = 0.0) ?(jitter = 0.0)
-    ?(reorder_prob = 0.05) ?(reorder_depth = 3) ?(horizon = 120.0) ~seed cell =
+    ?(reorder_prob = 0.05) ?(reorder_depth = 3) ?(horizon = 120.0) ?client_config ?server_config
+    ~seed cell =
   let engine = Engine.create () in
   (* Distinct per-direction netem seeds derived from the cell seed. *)
   let seeder = Rng.create seed in
@@ -62,7 +63,10 @@ let run_cell ?(rate_bps = Units.mbps 20.0) ?(delay = 0.015) ?(queue_capacity = 2
   let path =
     Path.create ~engine ~rate_bps ~delay ~queue_capacity ~client_netem ~server_netem ()
   in
-  let conn = Connection.create ~engine ~path ~flow:1 ~cc:(cc_of_name cell.cca) () in
+  let conn =
+    Connection.create ~engine ~path ~flow:1 ?client_config ?server_config
+      ~cc:(cc_of_name cell.cca) ()
+  in
   let client = Connection.client conn and server = Connection.server conn in
   let client_received = ref 0 and server_received = ref 0 in
   let responded = ref false and last_event = ref 0.0 in
@@ -104,14 +108,16 @@ let run_cell ?(rate_bps = Units.mbps 20.0) ?(delay = 0.015) ?(queue_capacity = 2
     pending_events = Engine.pending engine;
   }
 
-let run_matrix ?(pool = Stob_par.Pool.sequential) ?rate_bps ?delay ?request ?response ~seed cells =
+let run_matrix ?(pool = Stob_par.Pool.sequential) ?rate_bps ?delay ?request ?response
+    ?client_config ?server_config ~seed cells =
   (* Pre-split-RNG rule: derive one seed per cell, in cell order, before
      handing the tasks to the pool. *)
   let master = Rng.create seed in
   let tasks = Array.of_list (List.map (fun c -> (c, Rng.int master max_int)) cells) in
   Array.to_list
     (Stob_par.Pool.map pool
-       (fun (c, s) -> run_cell ?rate_bps ?delay ?request ?response ~seed:s c)
+       (fun (c, s) ->
+         run_cell ?rate_bps ?delay ?request ?response ?client_config ?server_config ~seed:s c)
        tasks)
 
 let converged ?max_rtx r =

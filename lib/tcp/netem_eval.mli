@@ -54,6 +54,8 @@ val run_cell :
   ?reorder_prob:float ->
   ?reorder_depth:int ->
   ?horizon:float ->
+  ?client_config:Config.t ->
+  ?server_config:Config.t ->
   seed:int ->
   cell ->
   result
@@ -62,7 +64,10 @@ val run_cell :
     Both directions run an impairment stage seeded (distinctly) from
     [seed].  Defaults: 20 Mb/s, 15 ms one-way delay, 256 KiB queues,
     2 KB request, 150 KB response, reordering holds 5% of packets for 3
-    later packets when [cell.reorder], 120 s horizon. *)
+    later packets when [cell.reorder], 120 s horizon.
+    [client_config]/[server_config] override the endpoint configurations —
+    the hook for asymmetric-negotiation cells (peer refuses SACK or
+    wscale, mismatched MSS, tiny receive buffers). *)
 
 val run_matrix :
   ?pool:Stob_par.Pool.t ->
@@ -70,6 +75,8 @@ val run_matrix :
   ?delay:float ->
   ?request:int ->
   ?response:int ->
+  ?client_config:Config.t ->
+  ?server_config:Config.t ->
   seed:int ->
   cell list ->
   result list

@@ -21,7 +21,7 @@ let make (config : Config.t) : Cc.t =
   let update_srtt rtt =
     s.srtt <- Some (match s.srtt with None -> rtt | Some v -> (0.875 *. v) +. (0.125 *. rtt))
   in
-  let on_ack ~now:_ ~acked ~rtt ~inflight:_ =
+  let on_ack ~now:_ ~acked ~rtt ~inflight:_ ~limited:_ =
     update_srtt rtt;
     (match s.phase with
     | Cc.Recovery ->

@@ -8,6 +8,8 @@ module Packet = Stob_net.Packet
 module Trace = Stob_net.Trace
 module Capture = Stob_net.Capture
 module Netem = Stob_sim.Netem
+module Rng = Stob_util.Rng
+module Soak = Stob_check.Soak
 open Stob_tcp
 
 let check_float margin = Alcotest.(check (float margin))
@@ -682,6 +684,434 @@ let test_send_dummy_preconditions () =
   expect_invalid_arg "dummy 0 bytes" (fun () -> Endpoint.send_dummy ep 0);
   expect_invalid_arg "dummy negative" (fun () -> Endpoint.send_dummy ep (-5))
 
+(* --- Receive-window model and zero-window probing ---------------------- *)
+
+(* Like [lone_client] but with a custom configuration and CCA. *)
+let lone_client_cc ?(config = Config.default) factory =
+  let engine = Engine.create () in
+  let sent = ref [] in
+  let ep =
+    Endpoint.create ~engine ~config ~cc:(factory config) ~flow:1 ~dir:Packet.Outgoing
+      ~tx:(fun pkts -> Array.iter (fun p -> sent := p :: !sent) pkts)
+      ()
+  in
+  (engine, ep, sent)
+
+let lone_client_config config = lone_client_cc ~config Reno.make
+
+(* A lone passive endpoint (server side): the "client" is played by hand-fed
+   packets with [dir = Outgoing]. *)
+let lone_server ?(config = Config.default) () =
+  let engine = Engine.create () in
+  let sent = ref [] in
+  let ep =
+    Endpoint.create ~engine ~config ~cc:(Reno.make config) ~flow:1 ~dir:Packet.Incoming
+      ~tx:(fun pkts -> Array.iter (fun p -> sent := p :: !sent) pkts)
+      ()
+  in
+  (engine, ep, sent)
+
+(* Handshake against a synthetic peer that actually negotiates options.
+   [establish_client] (no options) keeps modelling the peer that refuses
+   everything. *)
+let establish_client_opts ?mss ?wscale ?(sack = false) ep =
+  Endpoint.connect ep;
+  Endpoint.receive ep
+    (Packet.syn ~flow:1 ~dir:Packet.Incoming ~seq:0 ~ack:(Some 1) ?mss ?wscale ~sack_permitted:sack
+       ~rwnd:1_000_000 ())
+
+let incoming_ack ?(sack = []) ~ack ~rwnd () =
+  Packet.pure_ack ~flow:1 ~dir:Packet.Incoming ~seq:1 ~ack ~sack ~rwnd ()
+
+(* Regression (window updates counted as dupacks): before the receive-window
+   rework the sender counted ANY payload-less ack for [snd_una] as a
+   duplicate, so a burst of pure window updates (same ack, changing rwnd)
+   triggered a spurious fast retransmit.  RFC 5681 requires the window to be
+   unchanged for an ack to be a duplicate — and a zero-window ack is never
+   a duplicate either, it is flow control. *)
+let test_window_update_not_dupack () =
+  let engine, ep, _sent = lone_client () in
+  establish_client ep;
+  Endpoint.write ep 50_000;
+  Engine.run ~until:0.1 engine;
+  let rtx_before = Endpoint.retransmissions ep in
+  Alcotest.(check bool) "data outstanding" true (Endpoint.inflight ep > 0);
+  List.iter
+    (fun rwnd -> Endpoint.receive ep (incoming_ack ~ack:1 ~rwnd ()))
+    [ 900_000; 800_000; 700_000; 600_000 ];
+  Alcotest.(check int) "window updates trigger no fast retransmit" 0 (Endpoint.fast_recoveries ep);
+  Alcotest.(check int) "nothing retransmitted" rtx_before (Endpoint.retransmissions ep);
+  (* Repeated zero-window acks are flow control, not loss evidence. *)
+  List.iter (fun () -> Endpoint.receive ep (incoming_ack ~ack:1 ~rwnd:0 ())) [ (); (); (); () ];
+  Alcotest.(check int) "zero-window repeats are not dupacks" 0 (Endpoint.fast_recoveries ep)
+
+(* Regression (fast retransmit without SACK): SACK used to be implicitly
+   always-on, so recovery scanned the scoreboard for holes below the highest
+   SACKed byte.  Against a peer that never sent SACK blocks the scoreboard
+   was empty and fast retransmit sent NOTHING — recovery stalled until the
+   RTO.  The NewReno fallback must retransmit the head segment. *)
+let test_non_sack_fast_retransmit () =
+  let engine, ep, sent = lone_client () in
+  establish_client ep (* synthetic SYN|ACK carries no sack-permitted *);
+  Alcotest.(check bool) "sack not negotiated" false (Endpoint.inspect ep).Endpoint.sack_ok;
+  Endpoint.write ep 30_000;
+  Engine.run ~until:0.1 engine;
+  let rtx_before = Endpoint.retransmissions ep in
+  (* Three genuine duplicates: same ack, same window, no SACK blocks. *)
+  List.iter (fun () -> Endpoint.receive ep (incoming_ack ~ack:1 ~rwnd:1_000_000 ())) [ (); (); () ];
+  Engine.run ~until:0.15 engine;
+  Alcotest.(check int) "fast recovery entered" 1 (Endpoint.fast_recoveries ep);
+  Alcotest.(check bool) "head segment retransmitted, not a no-op" true
+    (Endpoint.retransmissions ep > rtx_before);
+  Alcotest.(check bool) "the retransmission is the head" true
+    (List.exists (fun p -> p.Packet.rtx && p.Packet.seq = 1 && p.Packet.payload > 0) !sent)
+
+(* Regression (zero-window probing): a sender facing a closed window used to
+   have no persist timer — with nothing inflight there was no RTO either, so
+   the connection deadlocked forever if the reopening window update was the
+   one packet that got lost.  The probe must be a single byte past the edge,
+   back off exponentially, and the flow must resume when the window reopens. *)
+let test_zero_window_persist_probe () =
+  let engine, ep, sent = lone_client () in
+  establish_client ep;
+  Endpoint.write ep 2_000;
+  Engine.run ~until:0.1 engine;
+  (* Peer acks everything and slams the window shut. *)
+  Endpoint.receive ep (incoming_ack ~ack:2001 ~rwnd:0 ());
+  Alcotest.(check int) "open->zero transition counted" 1 (Endpoint.zero_windows ep);
+  Endpoint.write ep 3_000;
+  Engine.run ~until:0.15 engine;
+  Alcotest.(check int) "no data dribbles into a closed window" 0
+    (List.length (List.filter (fun p -> p.Packet.payload > 0 && p.Packet.seq >= 2001) !sent));
+  Alcotest.(check bool) "persist timer armed" true (Endpoint.inspect ep).Endpoint.persist_armed;
+  Engine.run ~until:3.0 engine;
+  let probes = Endpoint.persist_probes ep in
+  Alcotest.(check bool) "probes fired while the window stayed closed" true (probes >= 2);
+  Alcotest.(check bool) "exponential backoff keeps probes sparse" true (probes <= 6);
+  Alcotest.(check bool) "the probe is a single byte past the edge" true
+    (List.exists (fun p -> p.Packet.payload = 1 && p.Packet.seq = 2001) !sent);
+  (* The probe byte is acked and the window reopens: everything flows. *)
+  Endpoint.receive ep (incoming_ack ~ack:2002 ~rwnd:1_000_000 ());
+  Engine.run ~until:5.0 engine;
+  Alcotest.(check int) "queued bytes all transmitted after reopen" 0 (Endpoint.unsent ep);
+  Alcotest.(check bool) "post-reopen data on the wire" true
+    (List.exists (fun p -> p.Packet.payload > 0 && p.Packet.seq >= 2002 && not p.Packet.rtx) !sent)
+
+(* Regression (send_dummy vs flow control): defense padding used to bypass
+   the peer window entirely — a closed window meant dummies were transmitted
+   into sequence space the receiver could not hold.  Dummies must be
+   suppressed (and counted) while the window is closed, flow again once it
+   reopens, and raise like [write] once the connection is closing. *)
+let test_send_dummy_zero_window () =
+  let engine, ep, sent = lone_client () in
+  establish_client ep;
+  Engine.run ~until:0.05 engine;
+  Endpoint.receive ep (incoming_ack ~ack:1 ~rwnd:0 ());
+  let wire_before = List.length !sent in
+  Endpoint.send_dummy ep 900;
+  Engine.run ~until:0.1 engine;
+  Alcotest.(check int) "dummy suppressed while window closed" 1 (Endpoint.dummies_suppressed ep);
+  Alcotest.(check int) "nothing hit the wire" wire_before (List.length !sent);
+  Endpoint.receive ep (incoming_ack ~ack:1 ~rwnd:1_000_000 ());
+  Endpoint.send_dummy ep 900;
+  Engine.run ~until:0.3 engine;
+  Alcotest.(check bool) "dummy transmitted after reopen" true
+    (List.exists (fun p -> p.Packet.dummy) !sent);
+  Endpoint.close ep;
+  expect_invalid_arg "dummy while closing" (fun () -> Endpoint.send_dummy ep 1)
+
+(* Receiver side: the advertised window is a real grant backed by the
+   receive buffer — it shrinks as delivered-but-unread bytes accumulate,
+   closes at zero, rejects segments beyond the advertised edge, and reopens
+   (with a window-update ack) when the application reads. *)
+let test_advertised_window_tracks_buffer () =
+  let config = { Config.default with Config.rcv_wnd = 10_000 } in
+  let engine, ep, sent = lone_server ~config () in
+  let received = ref 0 in
+  Endpoint.set_on_receive ep (fun n -> received := !received + n);
+  Endpoint.set_auto_read ep false;
+  Endpoint.receive ep (Packet.syn ~flow:1 ~dir:Packet.Outgoing ~seq:0 ~rwnd:65_535 ());
+  Endpoint.receive ep (Packet.pure_ack ~flow:1 ~dir:Packet.Outgoing ~seq:1 ~ack:1 ~rwnd:65_535 ());
+  Alcotest.(check int) "initial grant = whole buffer" 10_000 (Endpoint.advertised_window ep);
+  Endpoint.receive ep
+    (Packet.data ~flow:1 ~dir:Packet.Outgoing ~seq:1 ~ack:1 ~payload:4_000 ~rwnd:65_535 ());
+  Engine.run engine;
+  Alcotest.(check int) "window shrank by the buffered bytes" 6_000 (Endpoint.advertised_window ep);
+  Alcotest.(check int) "bytes sit in the receive buffer" 4_000 (Endpoint.rcv_buffered ep);
+  Endpoint.receive ep
+    (Packet.data ~flow:1 ~dir:Packet.Outgoing ~seq:4_001 ~ack:1 ~payload:6_000 ~rwnd:65_535 ());
+  Engine.run engine;
+  Alcotest.(check int) "window closed at capacity" 0 (Endpoint.advertised_window ep);
+  Alcotest.(check bool) "zero window on the wire" true
+    (List.exists (fun p -> p.Packet.payload = 0 && p.Packet.ack = 10_001 && p.Packet.rwnd = 0) !sent);
+  (* A segment past the advertised edge is dropped and re-acked, never
+     buffered: the grant is a contract, not a suggestion. *)
+  let acks_before = List.length (List.filter (fun p -> p.Packet.payload = 0) !sent) in
+  Endpoint.receive ep
+    (Packet.data ~flow:1 ~dir:Packet.Outgoing ~seq:10_001 ~ack:1 ~payload:1_000 ~rwnd:65_535 ());
+  Engine.run engine;
+  Alcotest.(check int) "beyond-window segment not delivered" 10_000 !received;
+  Alcotest.(check int) "beyond-window segment not buffered" 10_000 (Endpoint.rcv_buffered ep);
+  Alcotest.(check bool) "beyond-window segment re-acked" true
+    (List.length (List.filter (fun p -> p.Packet.payload = 0) !sent) > acks_before);
+  (* Reading drains the buffer, restores the grant and announces it. *)
+  Alcotest.(check int) "read drains the buffer" 10_000 (Endpoint.read ep 10_000);
+  Engine.run engine;
+  Alcotest.(check int) "full grant restored" 10_000 (Endpoint.advertised_window ep);
+  Alcotest.(check bool) "window-update ack announces the reopened space" true
+    (List.exists (fun p -> p.Packet.payload = 0 && p.Packet.ack = 10_001 && p.Packet.rwnd = 10_000) !sent)
+
+(* Lifecycle audit (delayed-ACK timer vs teardown): with a delayed-ACK
+   configuration the timer must actually fire standalone acks, re-arm, and
+   never survive the close — [quiesce] guarantees no timer is left armed on
+   a dead connection, so draining the engine terminates without a stray
+   segment from beyond the grave. *)
+let test_delack_lifecycle_teardown () =
+  let config = { Config.default with Config.delayed_ack = 0.2; Config.ack_every = 10 } in
+  let engine, ep, sent = lone_client_config config in
+  establish_client ep;
+  Endpoint.set_on_fin ep (fun () -> Endpoint.close ep);
+  Endpoint.receive ep (data_in ~seq:1 ~payload:1_000 ());
+  Alcotest.(check bool) "delack armed by an unacked segment" true
+    (Endpoint.inspect ep).Endpoint.delack_armed;
+  let wire_before = List.length !sent in
+  Engine.run ~until:0.5 engine;
+  Alcotest.(check bool) "delayed ack fired standalone" true (List.length !sent > wire_before);
+  Alcotest.(check bool) "delack disarmed after firing" false
+    (Endpoint.inspect ep).Endpoint.delack_armed;
+  Endpoint.receive ep (data_in ~seq:1_001 ~payload:500 ());
+  Alcotest.(check bool) "delack re-arms" true (Endpoint.inspect ep).Endpoint.delack_armed;
+  (* FIN arrives; we close; the peer acks our FIN: full teardown. *)
+  Endpoint.receive ep (data_in ~seq:1_501 ~payload:100 ~fin:true ());
+  Engine.run ~until:1.0 engine;
+  Endpoint.receive ep (Packet.pure_ack ~flow:1 ~dir:Packet.Incoming ~seq:1_602 ~ack:2 ~rwnd:65_535 ());
+  Alcotest.(check bool) "connection closed" true (Endpoint.closed ep);
+  let i = Endpoint.inspect ep in
+  Alcotest.(check bool) "no delack timer survives teardown" false i.Endpoint.delack_armed;
+  Alcotest.(check bool) "no persist timer survives teardown" false i.Endpoint.persist_armed;
+  let wire_at_close = List.length !sent in
+  (* Terminates (nothing re-arms) and emits nothing on the dead connection. *)
+  Engine.run engine;
+  Alcotest.(check int) "no stray segment after close" wire_at_close (List.length !sent);
+  Alcotest.(check int) "event queue fully drained" 0 (Engine.pending engine)
+
+(* --- SYN options negotiation ------------------------------------------- *)
+
+let test_syn_options_on_wire () =
+  (* Active open: the SYN carries the full offer from the configuration. *)
+  let _, ep, sent = lone_client () in
+  Endpoint.connect ep;
+  let syn = List.find (fun p -> p.Packet.syn) !sent in
+  Alcotest.(check (option int)) "mss offered" (Some Config.default.Config.mss) syn.Packet.mss_opt;
+  Alcotest.(check bool) "sack-permitted offered" true syn.Packet.sack_permitted;
+  Alcotest.(check (option int)) "wscale offered"
+    (Some (Config.wscale_shift Config.default))
+    syn.Packet.wscale_opt;
+  (* Passive open: the SYN|ACK echoes only what both sides agreed to — a
+     bare SYN means the peer negotiates nothing. *)
+  let _, server, ssent = lone_server () in
+  Endpoint.receive server (Packet.syn ~flow:1 ~dir:Packet.Outgoing ~seq:0 ~mss:1400 ~rwnd:50_000 ());
+  let synack = List.find (fun p -> p.Packet.syn) !ssent in
+  Alcotest.(check bool) "sack not echoed when peer did not offer" false synack.Packet.sack_permitted;
+  Alcotest.(check (option int)) "wscale not echoed when peer did not offer" None
+    synack.Packet.wscale_opt;
+  Alcotest.(check (option int)) "mss still announced" (Some Config.default.Config.mss)
+    synack.Packet.mss_opt
+
+let test_mss_negotiation () =
+  (* A peer advertising MSS 536 caps every segment we send. *)
+  let engine, ep, sent = lone_client () in
+  establish_client_opts ~mss:536 ep;
+  Alcotest.(check int) "negotiated send mss" 536 (Endpoint.inspect ep).Endpoint.snd_mss;
+  Endpoint.write ep 10_000;
+  Engine.run ~until:0.15 engine;
+  List.iter
+    (fun p ->
+      if p.Packet.payload > 0 then
+        Alcotest.(check bool) "payload within negotiated mss" true (p.Packet.payload <= 536))
+    !sent;
+  (* The negotiated MSS is min(ours, theirs): a jumbo peer cannot inflate it. *)
+  let _, ep2, _ = lone_client () in
+  establish_client_opts ~mss:9_000 ep2;
+  Alcotest.(check int) "peer cannot inflate our mss" Config.default.Config.mss
+    (Endpoint.inspect ep2).Endpoint.snd_mss
+
+let test_wscale_negotiation () =
+  (* Refused: the peer sent no wscale option, so the 16-bit field is taken
+     at face value for the rest of the connection. *)
+  let _, ep, _ = lone_client () in
+  establish_client ep;
+  Alcotest.(check int) "no shift when refused" 0 (Endpoint.inspect ep).Endpoint.snd_wscale;
+  Endpoint.receive ep (incoming_ack ~ack:1 ~rwnd:0xFFFF ());
+  Alcotest.(check int) "unscaled window" 0xFFFF (Endpoint.inspect ep).Endpoint.peer_rwnd;
+  (* Negotiated shift 7: the same field now decodes 128x larger.  (SYN
+     windows themselves are always raw, per RFC 7323.) *)
+  let _, ep2, _ = lone_client () in
+  establish_client_opts ~wscale:7 ep2;
+  Alcotest.(check int) "negotiated shift applied" 7 (Endpoint.inspect ep2).Endpoint.snd_wscale;
+  Endpoint.receive ep2 (incoming_ack ~ack:1 ~rwnd:0xFFFF ());
+  Alcotest.(check int) "post-handshake windows decode shifted" (0xFFFF lsl 7)
+    (Endpoint.inspect ep2).Endpoint.peer_rwnd;
+  (* RFC 7323: a shift above 14 from the peer is clamped, not trusted. *)
+  let _, ep3, _ = lone_client () in
+  establish_client_opts ~wscale:20 ep3;
+  Alcotest.(check int) "absurd shift clamped to 14" 14 (Endpoint.inspect ep3).Endpoint.snd_wscale
+
+(* Asymmetric negotiation end-to-end: full transfers over impaired paths
+   against peers that refuse SACK, refuse window scaling, or advertise a
+   tiny receive buffer — the degraded modes must still converge. *)
+let test_asymmetric_negotiation_cells () =
+  let reno_clean = { Netem_eval.cca = "reno"; loss = 0.0; reorder = false } in
+  let no_sack = { Config.default with Config.sack = false } in
+  let r =
+    Netem_eval.run_cell ~client_config:no_sack ~seed:77
+      { Netem_eval.cca = "reno"; loss = 0.02; reorder = false }
+  in
+  Alcotest.(check bool) "sack-refused cell converges under loss" true (Netem_eval.converged r);
+  let no_ws = { Config.default with Config.wscale = false } in
+  let r2 = Netem_eval.run_cell ~client_config:no_ws ~server_config:no_ws ~seed:78 reno_clean in
+  Alcotest.(check bool) "wscale-refused cell converges under the 64KB cap" true
+    (Netem_eval.converged r2);
+  let r0 = Netem_eval.run_cell ~seed:79 reno_clean in
+  let tiny = { Config.default with Config.rcv_wnd = 8 * 1024 } in
+  let r3 = Netem_eval.run_cell ~client_config:tiny ~seed:79 reno_clean in
+  Alcotest.(check bool) "tiny-buffer cell converges" true (Netem_eval.converged r3);
+  Alcotest.(check bool) "receiver flow control actually throttles" true
+    (r3.Netem_eval.finish_time > r0.Netem_eval.finish_time)
+
+(* Regression (BBR pacing collapse across a zero window): the delivery-rate
+   sample for a persist-probe byte acked after a multi-second stall reads as
+   a few bits per second, and the probe acks advance BBR's round counter so
+   the insert flushes every healthy sample from the windowed max — the
+   bottleneck estimate collapses, one burst commit pushes the pacer's
+   next-free time out by hundreds of seconds, nothing is ever delivered to
+   re-measure, and the flow wedges forever.  Found by the million-flow soak
+   (3 of 1.1M flows).  Rate samples from app/rwnd-limited periods must not
+   enter the filter (the tcp_rate_check_app_limited rule). *)
+let test_bbr_pacing_survives_zero_window () =
+  let engine, ep, _sent = lone_client_cc Bbr.make in
+  establish_client ep;
+  Endpoint.write ep 2_000;
+  Engine.run ~until:0.1 engine;
+  (* Everything acked; the window slams shut with 20 KB still to send. *)
+  Endpoint.receive ep (incoming_ack ~ack:2_001 ~rwnd:0 ());
+  Endpoint.write ep 20_000;
+  Engine.run ~until:3.0 engine;
+  Alcotest.(check bool) "persist probes fired" true (Endpoint.persist_probes ep >= 2);
+  (* The reopening ack covers the probe byte — a starved-period sample. *)
+  Endpoint.receive ep (incoming_ack ~ack:2_002 ~rwnd:1_000_000 ());
+  (* Hand-crank the ack clock: ack everything outstanding every 200 ms.
+     Pre-fix the pacer sits wedged hundreds of seconds in the future, so
+     the queue never drains no matter how many acks arrive. *)
+  for i = 1 to 40 do
+    Engine.run ~until:(3.0 +. (0.2 *. float_of_int i)) engine;
+    Endpoint.receive ep
+      (incoming_ack ~ack:(Endpoint.inspect ep).Endpoint.snd_nxt ~rwnd:1_000_000 ())
+  done;
+  Alcotest.(check int) "queue fully transmitted soon after reopen" 0 (Endpoint.unsent ep);
+  Alcotest.(check int) "sender advanced past the stall" 22_001
+    (Endpoint.inspect ep).Endpoint.snd_nxt
+
+(* The soak flow that exposed the collapse (shard 38 of the full run),
+   replayed exactly: a bbr slow-reader flow with 1.8% loss and a 2 s read
+   stall must complete within the standard horizon. *)
+let test_soak_deadlock_seed_replay () =
+  let rng = Rng.create 1326204908556826034 in
+  let spec = Soak.spec_of_rng ~fault:false rng in
+  Alcotest.(check string) "the drawn flow is the bbr slow reader" "bbr" spec.Soak.cca;
+  let r, violations = Soak.run_flow spec in
+  Alcotest.(check bool) "flow completes" true r.Soak.completed;
+  Alcotest.(check (list (pair string int))) "no invariant violations" [] violations
+
+(* --- Randomized window-advertisement battery (soak-backed) -------------- *)
+
+(* Directed slow-reader flow through the soak harness: a stalled reader with
+   a tiny buffer must close the window, draw persist probes, and still end
+   with exact delivery and zero monitor violations. *)
+let test_slow_reader_zero_window_flow () =
+  let client = { Config.default with Config.rcv_wnd = 6 * 1024 } in
+  let spec =
+    {
+      Soak.seed = 7;
+      cca = "reno";
+      request = 400;
+      response = 60_000;
+      delay = 0.01;
+      loss = 0.0;
+      client;
+      server = Config.default;
+      slow_reader = true;
+      read_chunk = 2_048;
+      read_interval = 0.02;
+      read_stall = 1.5;
+      pacer_jump = None;
+      horizon = 120.0;
+    }
+  in
+  let r, violations = Soak.run_flow spec in
+  Alcotest.(check bool) "flow completes" true r.Soak.completed;
+  Alcotest.(check int) "exact delivery" 60_000 r.Soak.client_received;
+  Alcotest.(check bool) "window went to zero" true (r.Soak.zero_windows >= 1);
+  Alcotest.(check bool) "persist probes fired during the stall" true (r.Soak.persist_probes >= 2);
+  Alcotest.(check (list (pair string int))) "no invariant violations" [] violations
+
+(* Property: random receiver buffer sizes and drain/refill schedules (chunk,
+   interval, initial stall) against random loss — every flow must deliver
+   exactly and violation-free under the window-sanity monitor: no deadlock,
+   no over-grant, no over-send. *)
+let prop_window_advertisement =
+  QCheck.Test.make ~count:40 ~name:"window advertisement under random drain/refill schedules"
+    QCheck.(
+      quad (int_bound 10_000) (int_range 2_000 32_000) (int_range 256 8_192)
+        (pair (int_range 5 80) (int_range 0 25)))
+    (fun (seed, buf, chunk, (interval_ms, stall_ds)) ->
+      let client = { Config.default with Config.rcv_wnd = buf } in
+      let spec =
+        {
+          Soak.seed;
+          cca = "reno";
+          request = 300;
+          response = 40_000;
+          delay = 0.008;
+          loss = (if seed mod 4 = 0 then 0.01 else 0.0);
+          client;
+          server = Config.default;
+          slow_reader = true;
+          read_chunk = chunk;
+          read_interval = float_of_int interval_ms /. 1_000.0;
+          read_stall = float_of_int stall_ds /. 10.0;
+          pacer_jump = None;
+          horizon = 120.0;
+        }
+      in
+      let r, violations = Soak.run_flow spec in
+      r.Soak.completed && r.Soak.client_received = 40_000 && violations = [])
+
+(* Property: the full soak mix (random CCAs, refused options, small MSS,
+   lossy links, slow readers) is deadlock- and violation-free flow by flow. *)
+let prop_soak_mix_integrity =
+  QCheck.Test.make ~count:60 ~name:"soak mix: random flows complete violation-free"
+    QCheck.(int_bound 1_000_000)
+    (fun s ->
+      let rng = Rng.create (s + 1) in
+      let spec = Soak.spec_of_rng ~fault:false rng in
+      let r, violations = Soak.run_flow spec in
+      r.Soak.completed && violations = [])
+
+(* The battery is jobs-invariant, like the netem matrix: pre-split per-flow
+   specs make results bit-identical with and without worker domains. *)
+let test_soak_battery_jobs_parity () =
+  let mk_specs () =
+    let master = Rng.create 2026 in
+    Array.init 16 (fun _ -> Soak.spec_of_rng ~fault:true master)
+  in
+  let seq = Array.map Soak.run_flow (mk_specs ()) in
+  let par =
+    Stob_par.Pool.with_pool ~domains:4 (fun pool ->
+        Stob_par.Pool.map pool Soak.run_flow (mk_specs ()))
+  in
+  Alcotest.(check bool) "battery identical under --jobs 1 and --jobs 4" true (seq = par)
+
 (* --- Netem integration: deterministic single-drop regressions ---------- *)
 
 (* Like [request_response], but the server closes after writing its response
@@ -892,6 +1322,34 @@ let suite =
         Alcotest.test_case "write misuse raises" `Quick test_write_preconditions;
         Alcotest.test_case "connect misuse raises" `Quick test_connect_preconditions;
         Alcotest.test_case "send_dummy misuse raises" `Quick test_send_dummy_preconditions;
+      ] );
+    ( "tcp.window",
+      [
+        Alcotest.test_case "window update is not a dupack" `Quick test_window_update_not_dupack;
+        Alcotest.test_case "zero window -> persist probing" `Quick test_zero_window_persist_probe;
+        Alcotest.test_case "send_dummy respects the window" `Quick test_send_dummy_zero_window;
+        Alcotest.test_case "advertised window tracks buffer" `Quick
+          test_advertised_window_tracks_buffer;
+        Alcotest.test_case "delack lifecycle and teardown" `Quick test_delack_lifecycle_teardown;
+        Alcotest.test_case "slow reader closes and reopens" `Quick
+          test_slow_reader_zero_window_flow;
+        Alcotest.test_case "bbr pacing survives zero window" `Quick
+          test_bbr_pacing_survives_zero_window;
+        Alcotest.test_case "soak deadlock seed replay" `Quick test_soak_deadlock_seed_replay;
+        q prop_window_advertisement;
+      ] );
+    ( "tcp.negotiation",
+      [
+        Alcotest.test_case "syn options on the wire" `Quick test_syn_options_on_wire;
+        Alcotest.test_case "mss negotiation" `Quick test_mss_negotiation;
+        Alcotest.test_case "wscale negotiation and clamp" `Quick test_wscale_negotiation;
+        Alcotest.test_case "fast retransmit without sack" `Quick test_non_sack_fast_retransmit;
+        Alcotest.test_case "asymmetric cells converge" `Slow test_asymmetric_negotiation_cells;
+      ] );
+    ( "tcp.soak",
+      [
+        q prop_soak_mix_integrity;
+        Alcotest.test_case "battery jobs parity" `Slow test_soak_battery_jobs_parity;
       ] );
     ( "tcp.impairment",
       [
