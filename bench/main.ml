@@ -142,12 +142,33 @@ let run_pareto ?pool ?(sweep = default_sweep) ~quick () =
            ~on_report:(fun r -> report := Some r) ());
       finish_sweep sweep !report)
 
-let run_dl ~quick () =
+let run_dl ?pool ?(sweep = default_sweep) ~quick () =
   hr "Extension: deep-learning vs feature-engineered attacks";
   let samples_per_site = if quick then 15 else 60 in
   let epochs = if quick then 10 else 30 in
   let trees = if quick then 40 else 100 in
-  Dl.print (Dl.run ~samples_per_site ~epochs ~trees ())
+  with_store sweep (fun store ->
+      let report = ref None in
+      Dl.print
+        (Dl.run ~samples_per_site ~epochs ~trees ?pool ?store ~retries:sweep.retries
+           ~on_report:(fun r -> report := Some r) ());
+      finish_sweep sweep !report)
+
+(* The population variant generates (or resumes) its packed corpus under
+   --state-dir; without the flag it uses a throwaway directory. *)
+let run_dl_population ?pool ?(sweep = default_sweep) ~quick () =
+  hr "Extension: DL vs k-FP on the population-scale corpus";
+  let users = if quick then 40 else 80 in
+  let epochs = if quick then 8 else 15 in
+  let trees = if quick then 40 else 100 in
+  let state_dir =
+    match sweep.state_dir with
+    | Some d -> d
+    | None ->
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "stob-dl-pop.%d" (Unix.getpid ()))
+  in
+  Dl.print_population (Dl.run_population ~users ~epochs ~trees ?pool ~state_dir ())
 
 let run_early_curve ~quick () =
   hr "Extension: early-detection curve (censorship setting)";
@@ -499,6 +520,182 @@ let run_forest ~smoke () =
   (* The smoke gate is a regression tripwire on a deliberately small
      workload where presorting amortizes least and timings are noisy;
      the headline >= 3x claim is gated by the full run only. *)
+  let min_speedup = if smoke then 1.5 else 3.0 in
+  if speedup < min_speedup then begin
+    Printf.printf "  FAILED: speedup %.2fx < required %.1fx\n" speedup min_speedup;
+    exit 1
+  end;
+  Printf.printf "  ok: speedup %.2fx >= %.1fx\n" speedup min_speedup
+
+(* ------------------------------------------------------------------ *)
+(* DF-net engine gate: the batched float32 tensor engine vs the
+   kept-as-oracle per-sample reference (Stob_nn.Reference) at DF shape.
+   Gates every run on (a) logits/prediction parity at seed-paired weights,
+   (b) fit --jobs-invariance (bit-exact weight digests), and (c) the
+   per-epoch speedup margin; the full run also writes BENCH_dfnet.json.
+   The float32 logits tolerance is documented in EXPERIMENTS.md. *)
+
+module Dfn = Stob_kfp.Dfnet
+module Nn = Stob_nn.Network
+module Nref = Stob_nn.Reference.Network
+
+let dfnet_logit_tolerance = 1e-5
+
+(* Synthetic direction sequences at DF shape: class-dependent burst
+   period, random length, 5% direction noise.  Built with explicit loops
+   so the draw order is fixed. *)
+let dfnet_workload ~n_per_class ~n_classes ~seed =
+  let rng = Stob_util.Rng.create seed in
+  let n = n_per_class * n_classes in
+  let xs = Array.make n [||] in
+  let labels = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let label = i mod n_classes in
+    let len = 250 + Stob_util.Rng.int rng 250 in
+    let period = 2 + label in
+    let x = Array.make Dfn.input_length 0.0 in
+    for p = 0 to min (len - 1) (Dfn.input_length - 1) do
+      let v = if p / period mod 2 = 0 then 1.0 else -1.0 in
+      let v = if Stob_util.Rng.float rng 1.0 < 0.05 then -.v else v in
+      x.(p) <- v
+    done;
+    xs.(i) <- x;
+    labels.(i) <- label
+  done;
+  (xs, labels)
+
+let run_dfnet ?pool ~smoke () =
+  hr (if smoke then "DF-net engine benchmark (smoke)" else "DF-net engine benchmark");
+  let n_classes = 9 in
+  let n_per_class = if smoke then 8 else 24 in
+  let epochs = if smoke then 1 else 2 in
+  let seed = 2024 in
+  let xs_rows, labels = dfnet_workload ~n_per_class ~n_classes ~seed in
+  let n = Array.length xs_rows in
+  let xs = Stob_nn.Tensor.of_rows xs_rows in
+  Printf.printf "workload: %d samples x %d steps, %d classes\n%!" n Dfn.input_length n_classes;
+  (* Parity at seed-paired weights: the batched net holds the float32
+     rounding of the reference weights, so logits must agree within the
+     documented tolerance and predictions must be identical. *)
+  let refnet = Dfn.build_reference ~rng:(Stob_util.Rng.create 7) ~n_classes in
+  let batnet = Dfn.build ~rng:(Stob_util.Rng.create 7) ~n_classes in
+  let blogits = Nn.logits_m batnet xs in
+  let bpreds = Nn.predict_m batnet xs in
+  let max_dev = ref 0.0 in
+  let pred_mismatch = ref 0 in
+  Array.iteri
+    (fun i x ->
+      let rl = Nref.logits refnet x in
+      Array.iteri
+        (fun c v ->
+          let d = Float.abs (v -. Stob_nn.Tensor.get blogits i c) in
+          if d > !max_dev then max_dev := d)
+        rl;
+      if Nref.predict refnet x <> bpreds.(i) then incr pred_mismatch)
+    xs_rows;
+  Printf.printf "  parity:   max |logit dev| %.2e (tol %.0e), %d/%d prediction mismatches\n%!"
+    !max_dev dfnet_logit_tolerance !pred_mismatch n;
+  let parity = !pred_mismatch = 0 && !max_dev <= dfnet_logit_tolerance in
+  (* Per-epoch timing, best of [reps] (same epochs, batch and lr on both
+     engines).  The parallel column is the engine as shipped: minibatch
+     shards across domains. *)
+  let reps = 3 in
+  let time f =
+    let best = ref infinity in
+    let r = ref None in
+    for _ = 1 to reps do
+      let s = Unix.gettimeofday () in
+      let v = f () in
+      let e = Unix.gettimeofday () in
+      r := Some v;
+      if e -. s < !best then best := e -. s
+    done;
+    (Option.get !r, !best)
+  in
+  let train_ref () =
+    let rng = Stob_util.Rng.create seed in
+    let net = Dfn.build_reference ~rng ~n_classes in
+    Nref.fit net ~rng ~xs:xs_rows ~labels ~epochs ();
+    net
+  in
+  let train_batched pool =
+    let rng = Stob_util.Rng.create seed in
+    let net = Dfn.build ~rng ~n_classes in
+    Nn.fit net ~rng ~xs ~labels ~epochs ?pool ();
+    net
+  in
+  let own_pool = pool = None in
+  let par_pool =
+    match pool with
+    | Some p -> p
+    | None -> Stob_par.Pool.create ~domains:(if smoke then 2 else 4) ()
+  in
+  let par_domains = Stob_par.Pool.domains par_pool in
+  let ref_trained, t_ref = time train_ref in
+  let _, t_seq = time (fun () -> train_batched None) in
+  let bat_trained, t_par = time (fun () -> train_batched (Some par_pool)) in
+  let per_ref = t_ref /. float_of_int epochs in
+  let per_seq = t_seq /. float_of_int epochs in
+  let per_par = t_par /. float_of_int epochs in
+  Printf.printf "  reference (per-sample): %8.3f s  (%.4f s/epoch)\n" t_ref per_ref;
+  Printf.printf "  batched --jobs 1:       %8.3f s  (%.4f s/epoch, %.2fx)\n" t_seq per_seq
+    (per_ref /. per_seq);
+  Printf.printf "  batched --jobs %d:       %8.3f s  (%.4f s/epoch, %.2fx)\n" par_domains t_par
+    per_par (per_ref /. per_par);
+  let speedup = per_ref /. per_par in
+  (* Jobs-invariance: same seed, same data, sequential vs parallel shards
+     must land bit-identical weights and momentum. *)
+  let d1 = Nn.weights_digest (train_batched None) in
+  let dj = Nn.weights_digest (train_batched (Some par_pool)) in
+  let invariant = String.equal d1 dj in
+  Printf.printf "  jobs-invariance: %s\n%!"
+    (if invariant then Printf.sprintf "ok (digest %s at 1 and %d domains)" (String.sub d1 0 12) par_domains
+     else "FAILED (weight digests differ)");
+  (* Behavioral report (not gated: the engines round differently, so
+     trained weights drift apart within float32 tolerance). *)
+  let ref_acc =
+    let hits = ref 0 in
+    Array.iteri (fun i x -> if Nref.predict ref_trained x = labels.(i) then incr hits) xs_rows;
+    float_of_int !hits /. float_of_int n
+  in
+  let bat_acc = Nn.accuracy_m bat_trained ~xs ~labels in
+  let bat_preds = Nn.predict_m bat_trained xs in
+  let agree = ref 0 in
+  Array.iteri (fun i x -> if Nref.predict ref_trained x = bat_preds.(i) then incr agree) xs_rows;
+  Printf.printf "  trained accuracy: reference %.3f, batched %.3f (%.1f%% agreement)\n%!" ref_acc
+    bat_acc
+    (100.0 *. float_of_int !agree /. float_of_int n);
+  if own_pool then Stob_par.Pool.shutdown par_pool;
+  if not smoke then begin
+    let json =
+      Printf.sprintf
+        "{\n\
+        \  \"workload\": { \"n_samples\": %d, \"input_length\": %d, \"n_classes\": %d, \"epochs\": %d },\n\
+        \  \"reference\": { \"wall_s\": %.6f, \"per_epoch_s\": %.6f },\n\
+        \  \"batched_seq\": { \"wall_s\": %.6f, \"per_epoch_s\": %.6f, \"speedup\": %.3f },\n\
+        \  \"batched_par\": { \"domains\": %d, \"wall_s\": %.6f, \"per_epoch_s\": %.6f, \"speedup\": %.3f },\n\
+        \  \"parity\": { \"max_logit_dev\": %.3e, \"tolerance\": %.0e, \"prediction_mismatches\": %d },\n\
+        \  \"jobs_invariant\": %b,\n\
+        \  \"trained\": { \"reference_acc\": %.4f, \"batched_acc\": %.4f }\n\
+         }\n"
+        n Dfn.input_length n_classes epochs t_ref per_ref t_seq per_seq (per_ref /. per_seq)
+        par_domains t_par per_par speedup !max_dev dfnet_logit_tolerance !pred_mismatch invariant
+        ref_acc bat_acc
+    in
+    Stob_store.Atomic_file.write "BENCH_dfnet.json" json;
+    Printf.printf "  wrote BENCH_dfnet.json\n%!"
+  end;
+  if not parity then begin
+    Printf.printf "  FAILED: parity (dev %.2e, %d mismatches)\n" !max_dev !pred_mismatch;
+    exit 1
+  end;
+  if not invariant then begin
+    Printf.printf "  FAILED: training is not --jobs-invariant\n";
+    exit 1
+  end;
+  (* Like the forest gate: smoke runs a deliberately small workload where
+     batching amortizes least, so it only trips on gross regressions; the
+     headline >= 3x per-epoch claim is gated by the full run. *)
   let min_speedup = if smoke then 1.5 else 3.0 in
   if speedup < min_speedup then begin
     Printf.printf "  FAILED: speedup %.2fx < required %.1fx\n" speedup min_speedup;
@@ -980,7 +1177,7 @@ let all ?pool ~quick () =
   run_httpos ~quick ();
   run_importance ~quick ();
   run_early_curve ~quick ();
-  run_dl ~quick ();
+  run_dl ?pool ~quick ();
   run_pareto ~quick ();
   run_micro ?jobs:(Option.map Pool.domains pool) ()
 
@@ -1090,8 +1287,12 @@ let () =
   | [ "importance-quick" ] -> run_importance ~quick:true ()
   | [ "early-curve" ] -> run_early_curve ~quick:false ()
   | [ "early-curve-quick" ] -> run_early_curve ~quick:true ()
-  | [ "dl" ] -> run_dl ~quick:false ()
-  | [ "dl-quick" ] -> run_dl ~quick:true ()
+  | [ "dl" ] -> with_jobs (fun pool -> run_dl ?pool ~sweep ~quick:false ())
+  | [ "dl-quick" ] -> with_jobs (fun pool -> run_dl ?pool ~sweep ~quick:true ())
+  | [ "dl-population" ] -> with_jobs (fun pool -> run_dl_population ?pool ~sweep ~quick:false ())
+  | [ "dl-population-quick" ] ->
+      with_jobs (fun pool -> run_dl_population ?pool ~sweep ~quick:true ())
+  | [ "dfnet" ] -> with_jobs (fun pool -> run_dfnet ?pool ~smoke:!smoke ())
   | [ "pareto" ] -> with_jobs (fun pool -> run_pareto ?pool ~sweep ~quick:false ())
   | [ "pareto-quick" ] -> with_jobs (fun pool -> run_pareto ?pool ~sweep ~quick:true ())
   | [ "micro" ] -> run_micro ~jobs ()
@@ -1109,5 +1310,5 @@ let () =
       prerr_endline
         "usage: main.exe [--jobs N] [--loss F] [--reorder] [--netem-seed N] [--chaos-seed N] \
          [--smoke] [--state-dir DIR] [--retries N] [--strict] \
-         [quick|smoke|resume-smoke|table1|table2|table2-quick|fig1|fig2|fig3|fig3-quick|ablation-stack|ablation-cca|ablation-quic|openworld|cca-id|httpos|importance|early-curve|dl|pareto|micro|forest|simperf|soak|population-soak|netem|chaos]";
+         [quick|smoke|resume-smoke|table1|table2|table2-quick|fig1|fig2|fig3|fig3-quick|ablation-stack|ablation-cca|ablation-quic|openworld|cca-id|httpos|importance|early-curve|dl|dl-population|dfnet|pareto|micro|forest|simperf|soak|population-soak|netem|chaos]";
       exit 2

@@ -420,6 +420,59 @@ let pareto_cmd =
        ~doc:"Sweep Stob policies and report the protection-vs-overhead Pareto frontier")
     Term.(const pareto $ samples $ trees $ folds $ seed $ jobs $ state_dir_arg $ retries_arg $ strict_arg)
 
+let dl samples trees epochs seed population users jobs state_dir retries strict =
+  with_jobs jobs (fun pool ->
+      if population then begin
+        let dir =
+          match state_dir with
+          | Some d -> d
+          | None ->
+              Printf.eprintf
+                "stobctl dl: --population needs --state-dir (the corpus is generated, and \
+                 resumed, there)\n";
+              exit 1
+        in
+        Dl.print_population (Dl.run_population ~users ~trees ~epochs ~seed ?pool ~state_dir:dir ())
+      end
+      else
+        with_store state_dir (fun store ->
+            let report = ref None in
+            Dl.print
+              (Dl.run ~samples_per_site:samples ~trees ~epochs ~seed ?pool ?store ~retries
+                 ~on_report:(fun r -> report := Some r)
+                 ());
+            finish_sweep ~strict !report))
+
+let dl_cmd =
+  let samples =
+    Arg.(value & opt (pos_int_conv ~docv:"N") 60 & info [ "samples" ] ~docv:"N" ~doc:"Samples per site.")
+  in
+  let epochs =
+    Arg.(value & opt (pos_int_conv ~docv:"N") 30 & info [ "epochs" ] ~docv:"N" ~doc:"DF-net training epochs.")
+  in
+  let population =
+    Arg.(
+      value & flag
+      & info [ "population" ]
+          ~doc:
+            "Evaluate on the population-scale packed corpus (generated crash-safely under \
+             --state-dir) instead of the standard per-site corpus.")
+  in
+  let users =
+    Arg.(
+      value
+      & opt (pos_int_conv ~docv:"N") 80
+      & info [ "users" ] ~docv:"N" ~doc:"Population size for --population.")
+  in
+  Cmd.v
+    (cmd_info "dl"
+       ~doc:
+         "Deep-learning (DF-lite CNN) vs feature-engineered (k-FP) attacks, undefended and \
+          under the combined defense")
+    Term.(
+      const dl $ samples $ trees $ epochs $ seed $ population $ users $ jobs $ state_dir_arg
+      $ retries_arg $ strict_arg)
+
 (* --- resume / status --------------------------------------------------- *)
 
 (* [resume] rebuilds the interrupted sweep's exact configuration from the
@@ -494,6 +547,11 @@ let resume state_dir jobs retries strict =
                 Pareto.print
                   (Pareto.run ~samples_per_site:(ints "samples_per_site") ~trees:(ints "trees")
                      ~folds:(ints "folds") ~seed:(ints "seed") ?pool ~store ~retries ~on_report
+                     ())
+            | "dl" ->
+                Dl.print
+                  (Dl.run ~samples_per_site:(ints "samples_per_site") ~trees:(ints "trees")
+                     ~epochs:(ints "epochs") ~seed:(ints "seed") ?pool ~store ~retries ~on_report
                      ())
             | other ->
                 Printf.eprintf "stobctl resume: don't know how to resume a %S sweep\n" other;
@@ -906,8 +964,8 @@ let main_cmd =
     [
       gen_dataset_cmd; attack_cmd; load_cmd; policies_cmd; table1_cmd; table2_cmd; fig3_cmd;
       arch_cmd; ablation_stack_cmd; ablation_cca_cmd; ablation_quic_cmd; openworld_cmd;
-      pareto_cmd; resume_cmd; status_cmd; cca_id_cmd; httpos_cmd; importance_cmd; netem_cmd;
-      chaos_cmd; population_cmd; soak_cmd;
+      pareto_cmd; dl_cmd; resume_cmd; status_cmd; cca_id_cmd; httpos_cmd; importance_cmd;
+      netem_cmd; chaos_cmd; population_cmd; soak_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)
