@@ -934,19 +934,27 @@ let run_population_soak ?pool ~flows_target () =
   Printf.printf "soak: all gates passed\n"
 
 (* ------------------------------------------------------------------ *)
-(* TCP soak: population-scale endurance run of the endpoint itself —
-   millions of request/response/close flows planned by the trace factory,
-   every endpoint under the invariant monitor (window-sanity checks
-   armed), chaos pacer faults on every 4th shard, and a heap-growth
-   watchdog asserting flows are reaped, not accumulated.  Smoke variant
-   (`--smoke`) rides `dune runtest`; the full run is `dune build @soak`. *)
+(* Endpoint soak: population-scale endurance run of the stacks
+   themselves — millions of request/response/close flows planned by the
+   trace factory, every endpoint under the invariant monitor
+   (window-sanity checks armed on TCP, pn/ack/amplification checks on
+   QUIC), chaos pacer faults on every 4th shard, and a heap-growth
+   watchdog asserting flows are reaped, not accumulated.  `--transport
+   tcp|quic|mixed` selects the population; the smoke variant
+   (`--smoke --transport mixed`) rides `dune runtest`; the full run is
+   `dune build @soak`. *)
 
-let run_soak ?pool ~smoke ~sweep () =
+let run_soak ?pool ~smoke ~transport ~sweep () =
   let module Soak = Stob_check.Soak in
+  let tname = Soak.transport_name transport in
   hr
-    (if smoke then "TCP soak (smoke): population flows under the invariant monitor"
-     else "TCP soak: >= 1M population flows under the invariant monitor");
-  let config = if smoke then Soak.smoke_config else Soak.default_config in
+    (if smoke then
+       Printf.sprintf "%s soak (smoke): population flows under the invariant monitor" tname
+     else
+       Printf.sprintf "%s soak: >= 1M population flows under the invariant monitor" tname);
+  let config =
+    { (if smoke then Soak.smoke_config else Soak.default_config) with Soak.transport }
+  in
   let jobs = match pool with None -> 1 | Some p -> Pool.domains p in
   let allowed_growth_bytes = 64 * 1024 * 1024 * max 1 jobs in
   let start = Unix.gettimeofday () in
@@ -954,13 +962,13 @@ let run_soak ?pool ~smoke ~sweep () =
     Soak.run ?pool ?state_dir:sweep.state_dir ~retries:sweep.retries
       ~on_shard:(fun r ->
         Printf.printf
-          "  shard %02d%s: %6d flows, %6d completed, rtx %6d, probes %4d, zero-wnd %4d, \
+          "  shard %02d%s: %6d flows (%5d quic), %6d completed, rtx %6d, probes %4d, ptos %4d, \
            violations %d\n\
            %!"
           r.Soak.shard
           (if r.Soak.faulted then Printf.sprintf " (faults %3d)" r.Soak.faults else "")
-          r.Soak.flows r.Soak.completed r.Soak.retransmissions r.Soak.persist_probes
-          r.Soak.zero_window_flows r.Soak.total_violations)
+          r.Soak.flows r.Soak.quic_flows r.Soak.completed r.Soak.retransmissions
+          r.Soak.persist_probes r.Soak.pto_events r.Soak.total_violations)
       config
   in
   let wall = Unix.gettimeofday () -. start in
@@ -986,12 +994,27 @@ let run_soak ?pool ~smoke ~sweep () =
     fail "%d invariant violations on fault-free shards: %s" summary.Soak.fault_free_violations
       (String.concat ", "
          (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) summary.Soak.violations));
-  (* The mix must actually exercise the new machinery. *)
-  if summary.Soak.persist_probes = 0 then fail "no persist probes fired";
-  if summary.Soak.zero_window_flows = 0 then fail "no flow ever closed the window";
-  if summary.Soak.slow_reader_flows = 0 then fail "no slow-reader flows in the mix";
-  if summary.Soak.sack_off_flows = 0 then fail "no SACK-refusing flows in the mix";
-  if summary.Soak.wscale_off_flows = 0 then fail "no wscale-refusing flows in the mix";
+  (* The mix must actually exercise the new machinery — TCP gates apply
+     whenever the population carries TCP flows, QUIC gates likewise. *)
+  let tcp_flows = summary.Soak.flows - summary.Soak.quic_flows in
+  (match transport with
+  | `Quic -> if tcp_flows > 0 then fail "quic soak drove %d tcp flows" tcp_flows
+  | `Tcp | `Mixed -> if tcp_flows = 0 then fail "no tcp flows in the mix");
+  if tcp_flows > 0 then begin
+    if summary.Soak.persist_probes = 0 then fail "no persist probes fired";
+    if summary.Soak.zero_window_flows = 0 then fail "no flow ever closed the window";
+    if summary.Soak.slow_reader_flows = 0 then fail "no slow-reader flows in the mix";
+    if summary.Soak.sack_off_flows = 0 then fail "no SACK-refusing flows in the mix";
+    if summary.Soak.wscale_off_flows = 0 then fail "no wscale-refusing flows in the mix"
+  end;
+  (match transport with
+  | `Tcp -> if summary.Soak.quic_flows > 0 then fail "tcp soak drove quic flows"
+  | `Quic | `Mixed ->
+      if summary.Soak.quic_flows = 0 then fail "no quic flows in the mix";
+      if summary.Soak.pto_events = 0 then fail "no QUIC probe timeout ever fired";
+      if summary.Soak.time_loss_detections = 0 then
+        fail "time-threshold loss detection never triggered";
+      if summary.Soak.idle_closed = 0 then fail "no QUIC endpoint ever idle-closed");
   if summary.Soak.faults = 0 then fail "chaos dimension never armed";
   if summary.Soak.peak_heap_growth_words * 8 > allowed_growth_bytes then
     fail "live heap grew %d MiB (bound %d MiB): flows are accumulating instead of being reaped"
@@ -1188,6 +1211,7 @@ let () =
   and loss = ref None
   and reorder = ref false
   and smoke = ref false
+  and transport = ref `Tcp
   and netem_seed = ref 4242
   and chaos_seed = ref 1337
   and state_dir = ref None
@@ -1241,6 +1265,12 @@ let () =
       | "--smoke" :: rest ->
           smoke := true;
           extract acc rest
+      | "--transport" :: t :: rest -> (
+          match Stob_check.Soak.transport_of_name t with
+          | tr ->
+              transport := tr;
+              extract acc rest
+          | exception Invalid_argument _ -> die "--transport expects tcp, quic or mixed")
       | x :: rest -> extract (x :: acc) rest
       | [] -> List.rev acc
     in
@@ -1298,7 +1328,7 @@ let () =
   | [ "micro" ] -> run_micro ~jobs ()
   | [ "forest" ] -> run_forest ~smoke:!smoke ()
   | [ "simperf" ] -> run_simperf ~smoke:!smoke ()
-  | [ "soak" ] -> with_jobs (fun pool -> run_soak ?pool ~smoke:!smoke ~sweep ())
+  | [ "soak" ] -> with_jobs (fun pool -> run_soak ?pool ~smoke:!smoke ~transport:!transport ~sweep ())
   | [ "population-soak" ] ->
       with_jobs (fun pool -> run_population_soak ?pool ~flows_target:100_000 ())
   | [ "netem" ] ->
@@ -1309,6 +1339,6 @@ let () =
   | _ ->
       prerr_endline
         "usage: main.exe [--jobs N] [--loss F] [--reorder] [--netem-seed N] [--chaos-seed N] \
-         [--smoke] [--state-dir DIR] [--retries N] [--strict] \
+         [--smoke] [--transport tcp|quic|mixed] [--state-dir DIR] [--retries N] [--strict] \
          [quick|smoke|resume-smoke|table1|table2|table2-quick|fig1|fig2|fig3|fig3-quick|ablation-stack|ablation-cca|ablation-quic|openworld|cca-id|httpos|importance|early-curve|dl|dl-population|dfnet|pareto|micro|forest|simperf|soak|population-soak|netem|chaos]";
       exit 2

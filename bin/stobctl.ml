@@ -878,7 +878,7 @@ let population_cmd =
 
 (* --- soak ------------------------------------------------------------- *)
 
-let soak smoke users shards fault_period horizon soak_seed state_dir retries jobs =
+let soak smoke transport users shards fault_period horizon soak_seed state_dir retries jobs =
   let module Soak = Stob_check.Soak in
   let base = if smoke then Soak.smoke_config else Soak.default_config in
   let population =
@@ -889,7 +889,7 @@ let soak smoke users shards fault_period horizon soak_seed state_dir retries job
       seed = soak_seed;
     }
   in
-  let config = { Soak.population; flow_horizon = horizon; fault_period } in
+  let config = { Soak.population; flow_horizon = horizon; fault_period; transport } in
   let summary =
     with_jobs jobs (fun pool ->
         Soak.run ?pool ?state_dir ~retries
@@ -929,11 +929,25 @@ let soak_cmd =
          & info [ "shards" ] ~docv:"N"
              ~doc:"Fixed shard count (independent of $(b,--jobs); reports are jobs-invariant).")
   in
+  let transport_conv =
+    Arg.conv
+      ( (fun s ->
+          try Ok (Stob_check.Soak.transport_of_name (String.lowercase_ascii s))
+          with Invalid_argument _ ->
+            Error (`Msg (Printf.sprintf "unknown transport %S (tcp|quic|mixed)" s))),
+        fun fmt t -> Format.pp_print_string fmt (Stob_check.Soak.transport_name t) )
+  in
+  let transport =
+    Arg.(value & opt transport_conv `Tcp
+         & info [ "transport" ] ~docv:"TRANSPORT"
+             ~doc:"Flow population: $(b,tcp), $(b,quic), or $(b,mixed) (50/50 split drawn \
+                   per flow).")
+  in
   let fault_period =
     Arg.(value & opt (nonneg_int_conv ~docv:"N") 4
          & info [ "fault-period" ] ~docv:"N"
-             ~doc:"Arm the chaos dimension (pacer-clock jumps) on every $(docv)th shard; 0 \
-                   disables faults.")
+             ~doc:"Arm the chaos dimension (TCP pacer-clock jumps, QUIC datagram blackholes) \
+                   on every $(docv)th shard; 0 disables faults.")
   in
   let horizon =
     Arg.(value & opt (pos_float_conv ~docv:"SECONDS") 120.0
@@ -949,14 +963,15 @@ let soak_cmd =
   Cmd.v
     (cmd_info "soak"
        ~doc:
-         "Run the TCP endurance soak: population-scale request/response flows (slow readers, \
-          zero windows, refused SACK/wscale, reduced MSS, lossy links, chaos pacer faults) \
-          with every endpoint under the invariant monitor.  Gates: every flow completes and \
-          fault-free shards are violation-free.  With $(b,--state-dir) the soak is crash-safe \
-          and resumable.")
+         "Run the transport endurance soak: population-scale request/response flows — TCP \
+          (slow readers, zero windows, refused SACK/wscale, reduced MSS, lossy links, chaos \
+          pacer faults), QUIC (idle-timeout closes, anti-amplification, PTO recovery, \
+          datagram-blackhole faults), or a mixed population — with every endpoint under the \
+          invariant monitor.  Gates: every flow completes and fault-free shards are \
+          violation-free.  With $(b,--state-dir) the soak is crash-safe and resumable.")
     Term.(
-      const soak $ smoke $ users $ shards $ fault_period $ horizon $ soak_seed $ state_dir_arg
-      $ retries_arg $ jobs)
+      const soak $ smoke $ transport $ users $ shards $ fault_period $ horizon $ soak_seed
+      $ state_dir_arg $ retries_arg $ jobs)
 
 let main_cmd =
   let doc = "stack-level traffic obfuscation (Stob) reproduction toolkit" in

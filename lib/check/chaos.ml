@@ -138,6 +138,9 @@ let run_cell ?(rate_bps = Units.mbps 20.0) ?(delay = 0.015) ?(horizon = 60.0)
         | Some q ->
             if !qdisc_saved_limit = None then qdisc_saved_limit := Some (Qdisc.limit_bytes q);
             Qdisc.set_limit_bytes q (int_of_float ev.Fault.magnitude))
+    (* QUIC wire faults are armed by the soak's QUIC flows, not by this
+       TCP-component harness. *)
+    | Fault.Datagram_blackhole | Fault.Ack_delay_inflation | Fault.Handshake_stall -> ()
   in
   let revert (ev : Fault.event) =
     match ev.Fault.kind with
@@ -150,6 +153,7 @@ let run_cell ?(rate_bps = Units.mbps 20.0) ?(delay = 0.015) ?(horizon = 60.0)
         match (Path.server_qdisc path, !qdisc_saved_limit) with
         | Some q, Some limit -> Qdisc.set_limit_bytes q limit
         | _ -> ())
+    | Fault.Datagram_blackhole | Fault.Ack_delay_inflation | Fault.Handshake_stall -> ()
   in
   Fault.arm ~engine ~apply ~revert fault_plan;
   (* --- monitored components --- *)

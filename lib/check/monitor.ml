@@ -251,6 +251,70 @@ let observe_endpoint t ~name ep =
   Endpoint.set_hooks ep { Hooks.on_segment }
 
 (* ------------------------------------------------------------------ *)
+(* QUIC endpoint invariants.                                            *)
+
+module Quic = Stob_quic.Endpoint
+
+(* Pure state checks over a QUIC inspection snapshot; shared between the
+   hook observer below and the soak's reap-time sweep.  Returns the first
+   failing (invariant, detail) pair. *)
+let check_quic_inspection (i : Quic.inspection) =
+  if i.Quic.largest_acked >= i.pn_next then
+    (* The peer acknowledged a packet number we never sent. *)
+    Some
+      ( "quic-ack-sanity",
+        Printf.sprintf "largest_acked %d >= pn_next %d (ack of unsent)" i.Quic.largest_acked
+          i.pn_next )
+  else if i.inflight < 0 then
+    Some ("quic-inflight-accounting", Printf.sprintf "inflight %d < 0" i.inflight)
+  else if i.inflight <> i.unacked_bytes then
+    Some
+      ( "quic-inflight-accounting",
+        Printf.sprintf "inflight ledger %d B != %d B across %d unacked packets" i.inflight
+          i.unacked_bytes i.unacked_packets )
+  else if i.amp_credit < 0 then
+    Some
+      ( "quic-amplification",
+        Printf.sprintf "amplification credit %d B negative (sent %d B, received %d B)"
+          i.amp_credit i.bytes_sent i.bytes_received )
+  else if i.closed && i.idle_armed then
+    Some ("quic-quiesce", "closed endpoint still has its idle timer armed")
+  else if i.cwnd < 1 then Some ("quic-cwnd-bounds", Printf.sprintf "cwnd %d < 1" i.cwnd)
+  else None
+
+(* QUIC analogue of [observe_endpoint]: wrap the installed hook chain with
+   observe-only checks — state invariants, packet-number monotonicity
+   across decisions, and the safety predicate on the chain's answer. *)
+let observe_quic t ~name ep =
+  let inner = Quic.hooks ep in
+  let last_pn = ref (-1) in
+  let on_segment ~now ~flow ~phase (d : Hooks.decision) =
+    let i = Quic.inspect ep in
+    (match check_quic_inspection i with
+    | Some (invariant, detail) ->
+        record t (Violation.make ~invariant ~time:now ~flow (name ^ ": " ^ detail))
+    | None -> ());
+    if i.Quic.pn_next < !last_pn then
+      record t
+        (Violation.make ~invariant:"quic-pn-monotonic" ~time:now ~flow
+           (Printf.sprintf "%s: packet number sequence moved backwards: %d -> %d" name !last_pn
+              i.Quic.pn_next));
+    last_pn := max !last_pn i.Quic.pn_next;
+    let result = inner.Hooks.on_segment ~now ~flow ~phase d in
+    if not (Safety.is_safe ~stack:d result) then
+      record t
+        (Violation.make ~invariant:"defense-safety" ~time:now ~flow
+           (Printf.sprintf
+              "%s: hook answer (tso %d, payload %d, dep %.9f) more aggressive than stack (tso %d, \
+               payload %d, dep %.9f)"
+              name result.Hooks.tso_bytes result.Hooks.packet_payload
+              result.Hooks.earliest_departure d.Hooks.tso_bytes d.Hooks.packet_payload
+              d.Hooks.earliest_departure));
+    result
+  in
+  Quic.set_hooks ep { Hooks.on_segment }
+
+(* ------------------------------------------------------------------ *)
 (* End-of-run oracle checks.                                            *)
 
 let check_rtx_oracle t ~capture ~endpoints ~drops ~drained =
@@ -262,6 +326,23 @@ let check_rtx_oracle t ~capture ~endpoints ~drops ~drained =
         (Violation.make ~invariant:"rtx-oracle-agreement" ~time:(Engine.now t.engine)
            (Printf.sprintf "endpoints count %d retransmissions, capture saw %d marked packets"
               counted captured))
+  end
+
+(* QUIC variant: datagrams carrying a retransmitted stream chunk are marked
+   [rtx] on the wire, so the capture's count must equal the endpoints'
+   [rtx_datagrams].  The capture taps the link before netem impairment, so
+   the check also holds under netem loss — only bottleneck-queue [drops]
+   (which happen before the tap) disqualify the comparison. *)
+let check_quic_rtx_oracle t ~capture ~endpoints ~drops ~drained =
+  if drops = 0 && drained then begin
+    let counted = List.fold_left (fun acc ep -> acc + Quic.rtx_datagrams ep) 0 endpoints in
+    let captured = Capture.rtx_count capture in
+    if counted <> captured then
+      record t
+        (Violation.make ~invariant:"rtx-oracle-agreement" ~time:(Engine.now t.engine)
+           (Printf.sprintf
+              "QUIC endpoints count %d rtx datagrams, capture saw %d marked packets" counted
+              captured))
   end
 
 (* Cache-poisoning canary: a sampled subset of a finished sweep's journal

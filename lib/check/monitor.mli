@@ -46,6 +46,19 @@
     - [rtx-oracle-agreement] — endpoint retransmission counters agree with
       the capture's {!Stob_net.Packet.t}[.rtx] oracle marks (loss-free,
       drained runs only).
+    - [quic-pn-monotonic] — a QUIC endpoint's packet-number sequence never
+      moves backwards across hook decisions.
+    - [quic-ack-sanity] — the peer never acknowledges a packet number the
+      endpoint has not sent ([largest_acked < pn_next]).
+    - [quic-amplification] — the server's pre-handshake anti-amplification
+      credit never goes negative (RFC 9000 §8.1: it never sends more than
+      [amp_factor] times what it received).
+    - [quic-inflight-accounting] — the endpoint's incremental inflight
+      ledger equals the sum over its unacked sent packets, and is never
+      negative.
+    - [quic-quiesce] — a closed QUIC endpoint holds no armed idle timer
+      (the close-time quiesce actually ran).
+    - [quic-cwnd-bounds] — cwnd at least one byte.
     - [engine-livelock] is reported by the chaos harness when
       {!Stob_sim.Engine.Livelock} fires; the engine cannot depend on this
       library, so it raises its own exception and the harness translates. *)
@@ -123,6 +136,17 @@ val observe_endpoint : t -> name:string -> Stob_tcp.Endpoint.t -> unit
     fault wrapper, degradation guard) {e first}, then observe.  Exceptions
     from the chain pass through untouched. *)
 
+val observe_quic : t -> name:string -> Stob_quic.Endpoint.t -> unit
+(** QUIC analogue of {!observe_endpoint}: wrap the endpoint's installed
+    hook chain with the [quic-*] state invariants, packet-number
+    monotonicity across decisions, and [defense-safety] on the chain's
+    answer.  Install the full chain first, then observe. *)
+
+val check_quic_inspection :
+  Stob_quic.Endpoint.inspection -> (string * string) option
+(** The pure state checks behind {!observe_quic}, exposed for reap-time
+    sweeps: the first failing [(invariant, detail)] pair, or [None]. *)
+
 (** {1 End-of-run checks} *)
 
 val check_rtx_oracle :
@@ -137,6 +161,18 @@ val check_rtx_oracle :
     when [drops = 0] and [drained] — the capture taps the link at
     transmit start, after bottleneck-queue drops, so the counts are only
     comparable on loss-free, fully drained runs. *)
+
+val check_quic_rtx_oracle :
+  t ->
+  capture:Stob_net.Capture.t ->
+  endpoints:Stob_quic.Endpoint.t list ->
+  drops:int ->
+  drained:bool ->
+  unit
+(** QUIC variant of {!check_rtx_oracle}: compares the endpoints'
+    {!Stob_quic.Endpoint.rtx_datagrams} against the capture's marked-packet
+    count.  The capture taps before netem impairment, so netem loss does
+    not disqualify the check — only bottleneck-queue [drops] do. *)
 
 val check_store_canary :
   t ->

@@ -2,6 +2,7 @@ module Engine = Stob_sim.Engine
 module Rng = Stob_util.Rng
 module Packet = Stob_net.Packet
 module Endpoint = Stob_tcp.Endpoint
+module Quic = Stob_quic.Endpoint
 module Config = Stob_tcp.Config
 module Netem_eval = Stob_tcp.Netem_eval
 module Population = Stob_experiments.Population
@@ -11,8 +12,11 @@ module Store = Stob_store.Store
 (* ------------------------------------------------------------------ *)
 (* Flow specification and per-flow driver.                              *)
 
+type transport = Tcp | Quic
+
 type flow_spec = {
   seed : int;
+  transport : transport;
   cca : string;
   request : int;
   response : int;
@@ -25,6 +29,10 @@ type flow_spec = {
   read_interval : float;
   read_stall : float;
   pacer_jump : (float * float) option;
+  flight : int;  (* QUIC: server handshake-flight bytes *)
+  blackhole : (float * float) option;
+      (* QUIC fault: [(after, duration)] — every datagram in both
+         directions vanishes inside the window *)
   horizon : float;
 }
 
@@ -40,12 +48,26 @@ type flow_result = {
   sack_negotiated : bool;
   wscale_negotiated : bool;
   snd_mss : int;
+  pto_events : int;
+  time_loss_detections : int;
+  persistent_congestions : int;
+  idle_closed : int;  (* endpoints that closed via the idle timeout (0-2) *)
 }
 
 (* The whole flow mix is drawn from one per-flow generator, in a fixed
    order, so a flow is a pure function of its seed (the jobs-parity and
    resume contracts both lean on this). *)
-let spec_of_rng ?(horizon = 120.0) ~fault rng =
+let spec_of_rng ?(horizon = 120.0) ?(transport = `Tcp) ~fault rng =
+  (* The transport draw happens first and ONLY in [`Mixed] mode, and the
+     QUIC-specific draws happen last and only for QUIC flows, so a [`Tcp]
+     soak's per-flow draw streams are byte-identical to the pre-QUIC
+     battery. *)
+  let flow_transport =
+    match transport with
+    | `Tcp -> Tcp
+    | `Quic -> Quic
+    | `Mixed -> if Rng.bool rng then Quic else Tcp
+  in
   let slow = Rng.int rng 8 = 0 in
   let sack_off = Rng.int rng 4 = 0 in
   let wscale_off = Rng.int rng 4 = 0 in
@@ -72,6 +94,20 @@ let spec_of_rng ?(horizon = 120.0) ~fault rng =
     else None
   in
   let seed = Rng.int rng 1_000_000_000 in
+  let flight, blackhole =
+    match flow_transport with
+    | Tcp -> (0, None)
+    | Quic ->
+        (* Flight sized so a default client Initial's 3x amplification
+           credit covers some flights and not others — both sides of the
+           server's credit gate get population-scale exercise. *)
+        let flight = 2_000 + Rng.int rng 3_000 in
+        let blackhole =
+          if fault && Rng.int rng 16 = 0 then Some (Rng.float rng 1.5, 0.05 +. Rng.float rng 0.4)
+          else None
+        in
+        (flight, blackhole)
+  in
   let client =
     {
       Config.default with
@@ -84,6 +120,7 @@ let spec_of_rng ?(horizon = 120.0) ~fault rng =
   in
   {
     seed;
+    transport = flow_transport;
     cca;
     request;
     response;
@@ -96,6 +133,8 @@ let spec_of_rng ?(horizon = 120.0) ~fault rng =
     read_interval;
     read_stall;
     pacer_jump;
+    flight;
+    blackhole;
     horizon;
   }
 
@@ -190,6 +229,116 @@ let add_flow ~engine ~monitor ~id ~start ~on_done spec =
                     wscale_negotiated =
                       ci.Endpoint.rcv_wscale > 0 || si.Endpoint.rcv_wscale > 0;
                     snd_mss = si.Endpoint.snd_mss;
+                    pto_events = 0;
+                    time_loss_detections = 0;
+                    persistent_congestions = 0;
+                    idle_closed = 0;
+                  }
+                in
+                client_ref := None;
+                server_ref := None;
+                on_done r))))
+
+(* One QUIC request/response flow over the same kind of direct link: fixed
+   one-way delay, i.i.d. loss, and optionally a datagram-blackhole window
+   (both directions vanish).  The client sends its request on stream 4 at
+   handshake confirmation; the server answers on its own stream 4 at the
+   request FIN and is then left to the {e idle timeout} — every clean QUIC
+   flow exercises the idle-close + quiesce path at population scale.  The
+   client closes shortly after the response FIN (a grace delay lets its
+   final delayed ACK out before close quiesces the ACK timer). *)
+let add_quic_flow ~engine ~monitor ~id ~start ~on_done spec =
+  ignore
+    (Engine.schedule_at engine ~time:start (fun () ->
+         let rng = Rng.create spec.seed in
+         let client_ref = ref None and server_ref = ref None in
+         let wire = Hashtbl.create 64 in
+         let bh =
+           Option.map (fun (after, dur) -> (start +. after, start +. after +. dur)) spec.blackhole
+         in
+         let tx dst pkts =
+           Array.iter
+             (fun p ->
+               let nw = Engine.now engine in
+               let blackholed =
+                 match bh with Some (a, b) -> nw >= a && nw < b | None -> false
+               in
+               let lost = spec.loss > 0.0 && Rng.bernoulli rng spec.loss in
+               if not (blackholed || lost) then
+                 ignore
+                   (Engine.schedule engine ~delay:spec.delay (fun () ->
+                        match !dst with Some e -> Quic.receive e p | None -> ())))
+             pkts
+         in
+         let factory = Netem_eval.cc_of_name spec.cca in
+         let qconfig = Quic.default_config in
+         let client =
+           Quic.create ~engine ~config:qconfig ~cc:(factory qconfig) ~flow:id
+             ~dir:Packet.Outgoing ~wire ~tx:(tx server_ref) ()
+         in
+         let server =
+           Quic.create ~engine ~config:qconfig ~cc:(factory qconfig) ~flow:id
+             ~dir:Packet.Incoming ~wire ~tx:(tx client_ref) ()
+         in
+         client_ref := Some client;
+         server_ref := Some server;
+         Monitor.observe_quic monitor ~name:(Printf.sprintf "flow-%d/client" id) client;
+         Monitor.observe_quic monitor ~name:(Printf.sprintf "flow-%d/server" id) server;
+         let client_received = ref 0 and server_received = ref 0 and responded = ref false in
+         Quic.set_on_stream server (fun ~stream:_ n -> server_received := !server_received + n);
+         Quic.set_on_stream_fin server (fun ~stream:_ ->
+             if not !responded then begin
+               responded := true;
+               Quic.send_stream server ~stream:4 ~fin:true spec.response
+             end);
+         Quic.set_on_stream client (fun ~stream:_ n -> client_received := !client_received + n);
+         Quic.set_on_stream_fin client (fun ~stream:_ ->
+             ignore
+               (Engine.schedule engine ~delay:0.06 (fun () ->
+                    match !client_ref with Some c -> Quic.close c | None -> ())));
+         Quic.set_on_established client (fun () ->
+             Quic.send_stream client ~stream:4 ~fin:true spec.request);
+         Quic.listen server ~flight_bytes:spec.flight;
+         Quic.connect client ~flight_bytes:spec.flight ();
+         ignore
+           (Engine.schedule engine ~delay:spec.horizon (fun () ->
+                (* Reap-time state sweep: the hook observer only fires on
+                   sends, so a flow that wedged silently is still checked
+                   here. *)
+                List.iter
+                  (fun (name, ep) ->
+                    match Monitor.check_quic_inspection (Quic.inspect ep) with
+                    | Some (invariant, detail) ->
+                        Monitor.record monitor
+                          (Violation.make ~invariant ~time:(Engine.now engine) ~flow:id
+                             (Printf.sprintf "flow-%d/%s: %s" id name detail))
+                    | None -> ())
+                  [ ("client", client); ("server", server) ];
+                let idle_closed ep =
+                  if Quic.close_reason ep = Some "idle-timeout" then 1 else 0
+                in
+                let r =
+                  {
+                    completed =
+                      !client_received = spec.response
+                      && !server_received = spec.request
+                      && Quic.closed client && Quic.closed server;
+                    client_received = !client_received;
+                    server_received = !server_received;
+                    client_closed = Quic.closed client;
+                    server_closed = Quic.closed server;
+                    retransmissions = Quic.rtx_datagrams client + Quic.rtx_datagrams server;
+                    persist_probes = 0;
+                    zero_windows = 0;
+                    sack_negotiated = false;
+                    wscale_negotiated = false;
+                    snd_mss = qconfig.Config.mss;
+                    pto_events = Quic.pto_events client + Quic.pto_events server;
+                    time_loss_detections =
+                      Quic.time_loss_detections client + Quic.time_loss_detections server;
+                    persistent_congestions =
+                      Quic.persistent_congestions client + Quic.persistent_congestions server;
+                    idle_closed = idle_closed client + idle_closed server;
                   }
                 in
                 client_ref := None;
@@ -201,7 +350,8 @@ let run_flow spec =
   let monitor = Monitor.create ~mode:Monitor.Collect engine in
   Monitor.attach_engine monitor;
   let out = ref None in
-  add_flow ~engine ~monitor ~id:1 ~start:0.0 ~on_done:(fun r -> out := Some r) spec;
+  let add = match spec.transport with Tcp -> add_flow | Quic -> add_quic_flow in
+  add ~engine ~monitor ~id:1 ~start:0.0 ~on_done:(fun r -> out := Some r) spec;
   Engine.run ~until:(spec.horizon +. 1.0) engine;
   match !out with
   | Some r -> (r, Monitor.counts monitor)
@@ -215,7 +365,10 @@ type config = {
       (* [plan_shard] supplies arrival times and per-flow seeds; expected
          flow count is users * mean_sessions * mean_session_visits. *)
   flow_horizon : float;  (* per-flow lifetime before the reaper fires, seconds *)
-  fault_period : int;  (* every [n]th shard arms pacer-jump faults; 0 = never *)
+  fault_period : int;
+      (* every [n]th shard arms faults (TCP pacer jumps, QUIC datagram
+         blackholes); 0 = never *)
+  transport : [ `Tcp | `Quic | `Mixed ];  (* flow population mix *)
 }
 
 let default_config =
@@ -231,6 +384,7 @@ let default_config =
       };
     flow_horizon = 120.0;
     fault_period = 4;
+    transport = `Tcp;
   }
 
 let smoke_config =
@@ -247,11 +401,13 @@ let smoke_config =
       };
     flow_horizon = 120.0;
     fault_period = 4;
+    transport = `Tcp;
   }
 
 type shard_report = {
   shard : int;
   flows : int;
+  quic_flows : int;
   completed : int;
   client_bytes : int;
   retransmissions : int;
@@ -260,8 +416,12 @@ type shard_report = {
   slow_reader_flows : int;
   sack_off_flows : int;
   wscale_off_flows : int;
+  pto_events : int;
+  time_loss_detections : int;
+  persistent_congestions : int;
+  idle_closed : int;
   faulted : bool;
-  faults : int;
+  faults : int;  (* pacer jumps + datagram blackholes actually armed *)
   violations : (string * int) list;
   total_violations : int;
   sim_seconds : float;
@@ -287,20 +447,40 @@ let run_shard config shard =
   and slow = ref 0
   and sack_off = ref 0
   and wscale_off = ref 0
+  and quic = ref 0
+  and ptos = ref 0
+  and time_loss = ref 0
+  and persistent = ref 0
+  and idle = ref 0
   and faults = ref 0 in
   Array.iteri
     (fun i v ->
       let rng = Rng.create v.Population.trace_seed in
-      let spec = spec_of_rng ~horizon:config.flow_horizon ~fault:faulted rng in
-      if spec.pacer_jump <> None then incr faults;
+      let spec =
+        spec_of_rng ~horizon:config.flow_horizon ~transport:config.transport ~fault:faulted rng
+      in
+      let add =
+        match spec.transport with
+        | Tcp ->
+            if spec.pacer_jump <> None then incr faults;
+            add_flow
+        | Quic ->
+            incr quic;
+            if spec.blackhole <> None then incr faults;
+            add_quic_flow
+      in
       if spec.slow_reader then incr slow;
       if not spec.client.Config.sack then incr sack_off;
       if not spec.client.Config.wscale then incr wscale_off;
-      add_flow ~engine ~monitor ~id:i ~start:v.Population.start spec ~on_done:(fun r ->
+      add ~engine ~monitor ~id:i ~start:v.Population.start spec ~on_done:(fun r ->
           if r.completed then incr completed;
           bytes := !bytes + r.client_received;
           rtx := !rtx + r.retransmissions;
           probes := !probes + r.persist_probes;
+          ptos := !ptos + r.pto_events;
+          time_loss := !time_loss + r.time_loss_detections;
+          persistent := !persistent + r.persistent_congestions;
+          idle := !idle + r.idle_closed;
           if r.zero_windows > 0 then incr zero_wnd))
     visits;
   (* Horizon past the LAST arrival (session dwell pushes visits past the
@@ -314,6 +494,7 @@ let run_shard config shard =
   {
     shard;
     flows = Array.length visits;
+    quic_flows = !quic;
     completed = !completed;
     client_bytes = !bytes;
     retransmissions = !rtx;
@@ -322,6 +503,10 @@ let run_shard config shard =
     slow_reader_flows = !slow;
     sack_off_flows = !sack_off;
     wscale_off_flows = !wscale_off;
+    pto_events = !ptos;
+    time_loss_detections = !time_loss;
+    persistent_congestions = !persistent;
+    idle_closed = !idle;
     faulted;
     faults = !faults;
     violations = Monitor.counts monitor;
@@ -336,6 +521,7 @@ type summary = {
   shards : int;
   cached_shards : int;
   flows : int;
+  quic_flows : int;
   completed : int;
   client_bytes : int;
   retransmissions : int;
@@ -344,6 +530,10 @@ type summary = {
   slow_reader_flows : int;
   sack_off_flows : int;
   wscale_off_flows : int;
+  pto_events : int;
+  time_loss_detections : int;
+  persistent_congestions : int;
+  idle_closed : int;
   faults : int;
   violations : (string * int) list;
   fault_free_violations : int;
@@ -362,9 +552,18 @@ let merge_counts a b =
 
 let shard_key i = Printf.sprintf "soak/shard=%03d" i
 
+let transport_name = function `Tcp -> "tcp" | `Quic -> "quic" | `Mixed -> "mixed"
+
+let transport_of_name = function
+  | "tcp" -> `Tcp
+  | "quic" -> `Quic
+  | "mixed" -> `Mixed
+  | s -> invalid_arg ("Soak.transport_of_name: unknown transport " ^ s)
+
 let config_fields config =
   ("flow_horizon", Printf.sprintf "%g" config.flow_horizon)
   :: ("fault_period", string_of_int config.fault_period)
+  :: ("transport", transport_name config.transport)
   :: ("population_seed", string_of_int config.population.Population.seed)
   :: Population.config_fields config.population
 
@@ -420,6 +619,7 @@ let run ?(pool = Pool.sequential) ?state_dir ?(retries = 0) ?on_shard config =
     shards = n;
     cached_shards = !cached_shards;
     flows = sum (fun r -> r.flows);
+    quic_flows = sum (fun r -> r.quic_flows);
     completed = sum (fun r -> r.completed);
     client_bytes = sum (fun r -> r.client_bytes);
     retransmissions = sum (fun r -> r.retransmissions);
@@ -428,6 +628,10 @@ let run ?(pool = Pool.sequential) ?state_dir ?(retries = 0) ?on_shard config =
     slow_reader_flows = sum (fun r -> r.slow_reader_flows);
     sack_off_flows = sum (fun r -> r.sack_off_flows);
     wscale_off_flows = sum (fun r -> r.wscale_off_flows);
+    pto_events = sum (fun r -> r.pto_events);
+    time_loss_detections = sum (fun r -> r.time_loss_detections);
+    persistent_congestions = sum (fun r -> r.persistent_congestions);
+    idle_closed = sum (fun r -> r.idle_closed);
     faults = sum (fun r -> r.faults);
     violations =
       List.fold_left (fun acc (r : shard_report) -> merge_counts acc r.violations) [] reports;
@@ -441,16 +645,18 @@ let run ?(pool = Pool.sequential) ?state_dir ?(retries = 0) ?on_shard config =
 
 let pp_summary fmt s =
   Format.fprintf fmt
-    "@[<v>flows %d (completed %d, %.4f%%), %d shards (%d cached)@,\
+    "@[<v>flows %d (%d quic; completed %d, %.4f%%), %d shards (%d cached)@,\
      client bytes %d, rtx %d@,\
      persist probes %d, zero-window flows %d, slow readers %d@,\
-     sack-off flows %d, wscale-off flows %d, pacer faults %d@,\
+     sack-off flows %d, wscale-off flows %d, faults %d@,\
+     quic: ptos %d, time-loss %d, persistent-cc %d, idle-closed %d@,\
      simulated flow-hours %.1f, peak heap growth %d MiB@,\
      violations: %s@]"
-    s.flows s.completed
+    s.flows s.quic_flows s.completed
     (if s.flows = 0 then 0.0 else 100.0 *. float_of_int s.completed /. float_of_int s.flows)
     s.shards s.cached_shards s.client_bytes s.retransmissions s.persist_probes
     s.zero_window_flows s.slow_reader_flows s.sack_off_flows s.wscale_off_flows s.faults
+    s.pto_events s.time_loss_detections s.persistent_congestions s.idle_closed
     s.sim_flow_hours
     (s.peak_heap_growth_words * 8 / 1_048_576)
     (if s.violations = [] then "none"

@@ -34,8 +34,11 @@
 
 (** {1 Single flows} *)
 
+type transport = Tcp | Quic
+
 type flow_spec = {
   seed : int;  (** Seeds the flow's link-loss and nothing else. *)
+  transport : transport;
   cca : string;  (** ["reno"], ["cubic"] or ["bbr"]. *)
   request : int;
   response : int;
@@ -54,7 +57,12 @@ type flow_spec = {
           what makes zero-window probes actually fire. *)
   pacer_jump : (float * float) option;
       (** [(after, jump)]: jump the server's pacing clock forward by [jump]
-          seconds, [after] seconds into the flow. *)
+          seconds, [after] seconds into the flow.  TCP flows only. *)
+  flight : int;  (** QUIC: server handshake-flight bytes. *)
+  blackhole : (float * float) option;
+      (** QUIC fault: [(after, duration)] — every datagram in both
+          directions vanishes inside the window
+          ({!Stob_sim.Fault.Datagram_blackhole} at flow granularity). *)
   horizon : float;  (** Reap time relative to flow start, seconds. *)
 }
 
@@ -72,13 +80,25 @@ type flow_result = {
   sack_negotiated : bool;
   wscale_negotiated : bool;
   snd_mss : int;  (** The server's negotiated send MSS. *)
+  pto_events : int;  (** QUIC: probe-timeout firings, both endpoints. *)
+  time_loss_detections : int;  (** QUIC: time-threshold loss declarations. *)
+  persistent_congestions : int;  (** QUIC: persistent-congestion declarations. *)
+  idle_closed : int;  (** QUIC: endpoints closed by the idle timeout (0-2). *)
 }
 
-val spec_of_rng : ?horizon:float -> fault:bool -> Stob_util.Rng.t -> flow_spec
+val spec_of_rng :
+  ?horizon:float ->
+  ?transport:[ `Tcp | `Quic | `Mixed ] ->
+  fault:bool ->
+  Stob_util.Rng.t ->
+  flow_spec
 (** Draw one flow from the soak mix (slow reader 1/8, SACK refused 1/4,
     wscale refused 1/4, MSS 536 1/6, lossy link 1/4, delayed ACKs 1/2,
-    uniform CCA; with [fault], 1/16 of flows get a pacer jump).  All draws
-    come from [rng] in a fixed order. *)
+    uniform CCA; with [fault], 1/16 of TCP flows get a pacer jump and 1/16
+    of QUIC flows a datagram-blackhole window).  All draws come from [rng]
+    in a fixed order; [`Mixed] splits QUIC/TCP 50/50 with a leading draw,
+    and QUIC-only draws (flight size, blackhole) trail, so a [`Tcp]
+    (default) stream is identical to the pre-QUIC battery. *)
 
 val add_flow :
   engine:Stob_sim.Engine.t ->
@@ -88,14 +108,31 @@ val add_flow :
   on_done:(flow_result -> unit) ->
   flow_spec ->
   unit
-(** Schedule one flow on a shared engine: it starts at [start] (absolute
-    virtual time) and is reaped — result handed to [on_done], references
-    dropped — exactly [horizon] later. *)
+(** Schedule one TCP flow on a shared engine: it starts at [start]
+    (absolute virtual time) and is reaped — result handed to [on_done],
+    references dropped — exactly [horizon] later. *)
+
+val add_quic_flow :
+  engine:Stob_sim.Engine.t ->
+  monitor:Monitor.t ->
+  id:int ->
+  start:float ->
+  on_done:(flow_result -> unit) ->
+  flow_spec ->
+  unit
+(** QUIC counterpart of {!add_flow}: request on stream 4 at handshake
+    confirmation, response at the request FIN, client closes shortly after
+    the response FIN, and the {e server} is left to close via the idle
+    timeout — so every clean flow also exercises idle-close + quiesce.
+    Both endpoints run under {!Monitor.observe_quic}, with a reap-time
+    {!Monitor.check_quic_inspection} sweep for flows that wedged without
+    sending. *)
 
 val run_flow : flow_spec -> flow_result * (string * int) list
-(** Run one flow on a private engine under a private monitor; returns the
-    reaped result and the monitor's violation counts.  This is the unit the
-    randomized window-advertisement property battery drives. *)
+(** Run one flow (TCP or QUIC, per [spec.transport]) on a private engine
+    under a private monitor; returns the reaped result and the monitor's
+    violation counts.  This is the unit the randomized
+    window-advertisement property battery drives. *)
 
 (** {1 Shards and full runs} *)
 
@@ -105,6 +142,7 @@ type config = {
           flows = users x mean_sessions x mean_session_visits. *)
   flow_horizon : float;
   fault_period : int;  (** Arm faults on every [n]th shard; [0] disables. *)
+  transport : [ `Tcp | `Quic | `Mixed ];  (** Flow population mix. *)
 }
 
 val default_config : config
@@ -118,6 +156,7 @@ val smoke_config : config
 type shard_report = {
   shard : int;
   flows : int;
+  quic_flows : int;
   completed : int;
   client_bytes : int;
   retransmissions : int;
@@ -126,8 +165,12 @@ type shard_report = {
   slow_reader_flows : int;
   sack_off_flows : int;
   wscale_off_flows : int;
+  pto_events : int;
+  time_loss_detections : int;
+  persistent_congestions : int;
+  idle_closed : int;
   faulted : bool;  (** Chaos dimension armed on this shard. *)
-  faults : int;  (** Pacer jumps actually injected. *)
+  faults : int;  (** Pacer jumps + datagram blackholes actually injected. *)
   violations : (string * int) list;  (** Monitor counts, invariant-sorted. *)
   total_violations : int;
   sim_seconds : float;
@@ -141,6 +184,7 @@ type summary = {
   shards : int;
   cached_shards : int;  (** Served from a previous run's journal. *)
   flows : int;
+  quic_flows : int;
   completed : int;
   client_bytes : int;
   retransmissions : int;
@@ -149,6 +193,10 @@ type summary = {
   slow_reader_flows : int;
   sack_off_flows : int;
   wscale_off_flows : int;
+  pto_events : int;
+  time_loss_detections : int;
+  persistent_congestions : int;
+  idle_closed : int;
   faults : int;
   violations : (string * int) list;
   fault_free_violations : int;
@@ -174,6 +222,10 @@ val run :
     served from the cache; [retries] re-attempts a shard that raised
     before giving up.  Raises [Failure] if [state_dir] belongs to a
     different run. *)
+
+val transport_name : [ `Tcp | `Quic | `Mixed ] -> string
+val transport_of_name : string -> [ `Tcp | `Quic | `Mixed ]
+(** Raises [Invalid_argument] on an unknown name. *)
 
 val config_fields : config -> (string * string) list
 val pp_summary : Format.formatter -> summary -> unit

@@ -52,6 +52,20 @@ val listen : t -> flight_bytes:int -> unit
 val established : t -> bool
 val set_on_established : t -> (unit -> unit) -> unit
 
+val close : t -> unit
+(** Application close: marks the connection closed and quiesces every
+    pending timer (send, PTO, loss-detection, delayed-ACK, idle) so a
+    closed endpoint never keeps the engine busy.  Subsequent sends and
+    receives are no-ops. *)
+
+val closed : t -> bool
+
+val close_reason : t -> string option
+(** ["application"], ["idle-timeout"], or [None] while open.  The idle
+    timeout ({!Stob_tcp.Config.t}[.idle_timeout], RFC 9000 §10.1) closes
+    the connection after that many seconds without receiving a packet or
+    sending a first ack-eliciting packet since the last receive. *)
+
 (** {1 Streams} *)
 
 val send_stream : t -> stream:int -> ?fin:bool -> int -> unit
@@ -69,7 +83,9 @@ val send_padding_datagram : t -> int -> unit
 (** {1 Stob / path interface} *)
 
 val set_hooks : t -> Stob_tcp.Hooks.t -> unit
+val hooks : t -> Stob_tcp.Hooks.t
 val cc : t -> Stob_tcp.Cc.t
+val config : t -> Stob_tcp.Config.t
 val receive : t -> Stob_net.Packet.t -> unit
 
 (** {1 Introspection} *)
@@ -77,5 +93,60 @@ val receive : t -> Stob_net.Packet.t -> unit
 val inflight : t -> int
 val packets_sent : t -> int
 val datagrams_sent : t -> int
+
 val retransmitted_chunks : t -> int
+(** Stream chunks pulled from a retransmission queue (a resent chunk split
+    across two datagrams counts twice — it is a chunk count, not a
+    datagram count). *)
+
+val rtx_datagrams : t -> int
+(** Datagrams that carried at least one retransmitted stream chunk.  This
+    is the count {!Stob_net.Capture.rtx_count} sees for this endpoint's
+    direction, so capture and endpoint can be cross-checked (the QUIC rtx
+    oracle). *)
+
+val pto_events : t -> int
+(** Probe-timeout firings (RFC 9002 §6.2). *)
+
+val time_loss_detections : t -> int
+(** Packets declared lost by the 9/8·RTT time threshold (RFC 9002 §6.1.2)
+    rather than the packet threshold. *)
+
+val persistent_congestions : t -> int
+(** Persistent-congestion declarations (RFC 9002 §7.6): lost-packet span
+    exceeded 3 PTOs with no forward progress, collapsing the congestion
+    window. *)
+
 val srtt : t -> float option
+
+(** {1 Invariant-monitor surface} *)
+
+type inspection = {
+  pn_next : int;  (** Next packet number; strictly monotone. *)
+  largest_acked : int;  (** Largest packet number acked by the peer; -1 initially. *)
+  inflight : int;  (** Ack-eliciting payload bytes in flight (sender's ledger). *)
+  unacked_bytes : int;
+      (** Recomputed sum over the sent-packet table; must equal [inflight]
+          (the quic-inflight-accounting invariant). *)
+  unacked_packets : int;
+  cwnd : int;
+  pto_count : int;
+  pto_backoff : float;
+  amp_credit : int;
+      (** Remaining anti-amplification budget in wire bytes; [max_int] when
+          the limit does not apply (client, or handshake confirmed).  Never
+          negative (the quic-amplification invariant). *)
+  bytes_received : int;
+  bytes_sent : int;
+  established : bool;
+  closed : bool;
+  close_reason : string option;
+  idle_armed : bool;
+  rtx_datagrams : int;
+  rtx_chunks : int;
+  time_loss_detections : int;
+  persistent_congestions : int;
+}
+
+val inspect : t -> inspection
+(** Observe-only snapshot; never mutates the endpoint. *)

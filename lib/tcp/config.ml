@@ -17,6 +17,9 @@ type t = {
   sack : bool;
   wscale : bool;
   persist_max : float;
+  pto_max : float;
+  idle_timeout : float;
+  amp_factor : int;
 }
 
 let default =
@@ -39,6 +42,9 @@ let default =
     sack = true;
     wscale = true;
     persist_max = 60.0;
+    pto_max = 10.0;
+    idle_timeout = 30.0;
+    amp_factor = 3;
   }
 
 (* Smallest shift count that makes [rcv_wnd] representable in the 16-bit

@@ -28,6 +28,18 @@ type t = {
   wscale : bool;  (** Offer window scaling on SYN (RFC 7323). *)
   persist_max : float;
       (** Upper bound on the zero-window persist-probe backoff, seconds. *)
+  pto_max : float;
+      (** QUIC: upper bound on the backed-off probe timeout, seconds.  The
+          backoff multiplier doubles per PTO and resets on forward progress
+          (RFC 9002 §6.2); this caps the resulting interval. *)
+  idle_timeout : float;
+      (** QUIC: close the connection after this many seconds with no
+          activity (RFC 9000 §10.1), quiescing every timer; [0.] disables
+          the timeout. *)
+  amp_factor : int;
+      (** QUIC: pre-handshake-confirmation anti-amplification limit — a
+          server may send at most [amp_factor] times the bytes it has
+          received from the unvalidated client address (RFC 9000 §8.1). *)
 }
 
 val default : t

@@ -13,6 +13,7 @@ type result = {
   load_time : float;
   bytes_downloaded : int;
   page : Resource.page;
+  netem_stats : Stob_sim.Netem.stats;
 }
 
 (* Per-connection client state: what we are currently waiting for. *)
@@ -30,13 +31,13 @@ let tls = Record.default
 (* Frame [n] plaintext bytes into total ciphertext wire bytes. *)
 let ciphertext_bytes n = Record.wire_bytes tls ~padding:Record.No_padding n
 
-let load ?policy ?cc ?client_config ?(max_time = 60.0) ~rng profile =
+let load ?policy ?cc ?client_config ?client_netem ?server_netem ?(max_time = 60.0) ~rng profile =
   let engine = Engine.create () in
   let rate_bps, delay = Profile.sample_network profile rng in
   (* Bottleneck queue: a shallow-ish access-link buffer (about 50 ms at the
      link rate) so overload shows up as queueing and occasional loss. *)
   let queue_capacity = max 65536 (int_of_float (rate_bps *. 0.05 /. 8.0)) in
-  let path = Path.create ~engine ~rate_bps ~delay ~queue_capacity () in
+  let path = Path.create ~engine ~rate_bps ~delay ~queue_capacity ?client_netem ?server_netem () in
   let page = Profile.generate_page profile rng in
   let n_conns = max 1 profile.Profile.parallel_connections in
 
@@ -232,4 +233,5 @@ let load ?policy ?cc ?client_config ?(max_time = 60.0) ~rng profile =
     load_time = !last_complete;
     bytes_downloaded = !bytes_downloaded;
     page;
+    netem_stats = Path.netem_stats path;
   }

@@ -9,11 +9,11 @@ module Qendpoint = Stob_quic.Endpoint
 (* HTTP/3 frame overhead per message (HEADERS/DATA frame headers, QPACK). *)
 let h3_overhead = 24
 
-let load ?policy ?cc ?(max_time = 60.0) ~rng profile =
+let load ?policy ?cc ?client_netem ?server_netem ?(max_time = 60.0) ~rng profile =
   let engine = Engine.create () in
   let rate_bps, delay = Profile.sample_network profile rng in
   let queue_capacity = max 65536 (int_of_float (rate_bps *. 0.05 /. 8.0)) in
-  let path = Path.create ~engine ~rate_bps ~delay ~queue_capacity () in
+  let path = Path.create ~engine ~rate_bps ~delay ~queue_capacity ?client_netem ?server_netem () in
   let page = Profile.generate_page profile rng in
   let flight = Profile.sample_size profile.Profile.tls_flight rng in
   let server_hooks =
@@ -111,4 +111,5 @@ let load ?policy ?cc ?(max_time = 60.0) ~rng profile =
     load_time = !last_complete;
     bytes_downloaded = !bytes_downloaded;
     page;
+    netem_stats = Path.netem_stats path;
   }

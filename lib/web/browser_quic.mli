@@ -15,10 +15,16 @@
 val load :
   ?policy:Stob_core.Policy.t ->
   ?cc:Stob_tcp.Cc.factory ->
+  ?client_netem:Stob_net.Packet.t Stob_sim.Netem.spec ->
+  ?server_netem:Stob_net.Packet.t Stob_sim.Netem.spec ->
   ?max_time:float ->
   rng:Stob_util.Rng.t ->
   Profile.t ->
   Browser.result
 (** [policy] installs a server-side Stob policy on the connection's
     datagram path.  The handshake flight size is drawn from the profile's
-    [tls_flight] (certificate chain), as in the TCP driver. *)
+    [tls_flight] (certificate chain), as in the TCP driver.
+    [client_netem]/[server_netem] impair the respective receive directions
+    exactly as in {!Browser.load}; the result's [netem_stats] reports what
+    the stages did, and the hardened endpoint's loss detection and PTO
+    machinery recover the visit. *)

@@ -2,12 +2,17 @@
    Stob hooks on the QUIC datagram path. *)
 
 module Engine = Stob_sim.Engine
+module Netem = Stob_sim.Netem
 module Units = Stob_util.Units
+module Rng = Stob_util.Rng
 module Packet = Stob_net.Packet
 module Trace = Stob_net.Trace
 module Capture = Stob_net.Capture
 module Path = Stob_tcp.Path
+module Config = Stob_tcp.Config
 module Hooks = Stob_tcp.Hooks
+module Monitor = Stob_check.Monitor
+module Soak = Stob_check.Soak
 open Stob_quic
 
 (* --- Frame --- *)
@@ -37,11 +42,11 @@ type world = {
   server_fins : int ref;
 }
 
-let make_world ?(rate_bps = Units.mbps 100.0) ?(delay = 0.01) ?queue_capacity ?cc ?server_hooks ()
-    =
+let make_world ?(rate_bps = Units.mbps 100.0) ?(delay = 0.01) ?queue_capacity ?client_netem
+    ?server_netem ?cc ?server_hooks ?(flight_bytes = 3500) () =
   let engine = Engine.create () in
-  let path = Path.create ~engine ~rate_bps ~delay ?queue_capacity () in
-  let conn = Connection.create ~engine ~path ~flow:1 ?cc ?server_hooks ~flight_bytes:3500 () in
+  let path = Path.create ~engine ~rate_bps ~delay ?queue_capacity ?client_netem ?server_netem () in
+  let conn = Connection.create ~engine ~path ~flow:1 ?cc ?server_hooks ~flight_bytes () in
   let client_rx = Hashtbl.create 8 and server_rx = Hashtbl.create 8 in
   let client_fins = ref 0 and server_fins = ref 0 in
   let count tbl ~stream n =
@@ -187,6 +192,214 @@ let test_flight_bytes_visible () =
   in
   Alcotest.(check bool) "bigger flight, more bytes" true (flight_bytes 5000 > flight_bytes 2500)
 
+(* --- Robustness regressions (each failed on the pre-hardening endpoint) --- *)
+
+(* RFC 9000 §10.1: a connection nobody talks on must close itself by the
+   idle timeout and quiesce every timer — the engine ends up empty, like
+   TCP's close-time quiesce.  Pre-fix there was no idle timeout: both
+   endpoints sat open forever. *)
+let test_idle_timeout_close_quiesce () =
+  let w = make_world () in
+  Connection.on_established w.conn (fun () ->
+      Endpoint.send_stream (Connection.client w.conn) ~stream:4 ~fin:true 2_000);
+  Connection.open_ w.conn;
+  Engine.run ~until:200.0 w.engine;
+  let client = Connection.client w.conn and server = Connection.server w.conn in
+  Alcotest.(check bool) "client closed" true (Endpoint.closed client);
+  Alcotest.(check bool) "server closed" true (Endpoint.closed server);
+  Alcotest.(check (option string)) "client reason" (Some "idle-timeout")
+    (Endpoint.close_reason client);
+  Alcotest.(check (option string)) "server reason" (Some "idle-timeout")
+    (Endpoint.close_reason server);
+  Alcotest.(check int) "every timer quiesced" 0 (Engine.pending w.engine)
+
+(* RFC 9000 §8.1: every client datagram after the Initial vanishes, so the
+   unconfirmed server's budget is 3x one Initial.  Pre-fix it blasted the
+   whole 20 KB handshake flight into the void. *)
+let test_amplification_cap () =
+  let drop_all_after_initial =
+    Netem.spec
+      { Netem.default with Netem.drop_list = List.init 200 (fun i -> i + 2); seed = 1 }
+  in
+  let w = make_world ~server_netem:drop_all_after_initial ~flight_bytes:20_000 () in
+  Connection.open_ w.conn;
+  Engine.run ~until:20.0 w.engine;
+  let insp = Endpoint.inspect (Connection.server w.conn) in
+  Alcotest.(check bool) "server stayed unconfirmed" false insp.Endpoint.established;
+  Alcotest.(check bool) "sent at most 3x received" true
+    (insp.Endpoint.bytes_sent <= 3 * insp.Endpoint.bytes_received);
+  Alcotest.(check bool) "credit never negative" true (insp.Endpoint.amp_credit >= 0);
+  Alcotest.(check bool) "flight withheld" true (insp.Endpoint.bytes_sent < 20_000)
+
+(* RFC 9002 §6.2.2.1: the client's post-Initial datagrams are lost while
+   the server is amp-blocked mid-flight — with nothing ack-eliciting in
+   flight on either side, only the client's anti-deadlock probe can
+   re-credit the server.  Pre-fix both sides idled out and the handshake
+   never completed. *)
+let test_amplification_unblock_no_deadlock () =
+  let lose_client_ack_flight =
+    Netem.spec { Netem.default with Netem.drop_list = [ 2; 3 ]; seed = 2 }
+  in
+  let w = make_world ~server_netem:lose_client_ack_flight ~flight_bytes:8_000 () in
+  Connection.open_ w.conn;
+  Engine.run ~until:15.0 w.engine;
+  Alcotest.(check bool) "client established" true (Endpoint.established (Connection.client w.conn));
+  Alcotest.(check bool) "server established" true (Endpoint.established (Connection.server w.conn));
+  Alcotest.(check bool) "anti-deadlock probe fired" true
+    (Endpoint.pto_events (Connection.client w.conn) > 0)
+
+(* RFC 9002 §6.1.2: lose one mid-response datagram with fewer than 3
+   packets sent after it — the packet threshold can never fire, so only
+   the 9/8-RTT time threshold can declare the loss.  Pre-fix the transfer
+   wedged until the (much later, backed-off) PTO rescued it. *)
+let test_time_threshold_loss () =
+  let big p = Packet.wire_size p >= 1200 in
+  let lose_third_data_packet =
+    Netem.spec ~drop_filter:big { Netem.default with Netem.drop_list = [ 3 ]; seed = 3 }
+  in
+  (* Flight of 900 B stays under the drop filter, so the filtered ordinals
+     count exactly the full-size response datagrams. *)
+  let w = make_world ~client_netem:lose_third_data_packet ~flight_bytes:900 () in
+  Connection.on_established w.conn (fun () ->
+      Endpoint.send_stream (Connection.client w.conn) ~stream:4 ~fin:true 400);
+  Endpoint.set_on_stream_fin (Connection.server w.conn) (fun ~stream ->
+      incr w.server_fins;
+      if stream = 4 then Endpoint.send_stream (Connection.server w.conn) ~stream:4 ~fin:true 5_400);
+  Connection.open_ w.conn;
+  Engine.run ~until:30.0 w.engine;
+  let server = Connection.server w.conn in
+  Alcotest.(check int) "full response despite the loss" 5_400 (got w.client_rx 4);
+  Alcotest.(check bool) "time threshold declared it" true
+    (Endpoint.time_loss_detections server > 0);
+  Alcotest.(check int) "the PTO never had to" 0 (Endpoint.pto_events server)
+
+(* RFC 9002 §7.6 + §7.5: a mid-transfer datagram blackhole longer than
+   3 PTOs must be declared persistent congestion (collapsing cwnd) once
+   acks resume — and the flow must still complete.  This pins two pre-fix
+   gaps: the declaration did not exist, and a window-gated PTO could not
+   force a probe out while inflight sat above the collapsed cwnd, so the
+   idle timeout reaped the connection mid-recovery (completed = false). *)
+let test_persistent_congestion_blackhole () =
+  let spec =
+    {
+      Soak.seed = 11;
+      transport = Soak.Quic;
+      cca = "reno";
+      request = 400;
+      response = 150_000;
+      delay = 0.02;
+      loss = 0.0;
+      client = Config.default;
+      server = Config.default;
+      slow_reader = false;
+      read_chunk = 2_048;
+      read_interval = 0.02;
+      read_stall = 0.0;
+      pacer_jump = None;
+      flight = 3_000;
+      blackhole = Some (0.1, 1.5);
+      horizon = 120.0;
+    }
+  in
+  let r, violations = Soak.run_flow spec in
+  Alcotest.(check bool) "flow completes" true r.Soak.completed;
+  Alcotest.(check bool) "persistent congestion declared" true (r.Soak.persistent_congestions > 0);
+  Alcotest.(check (list (pair string int))) "no invariant violations" [] violations
+
+(* BBR delivery-rate taint: acks of packets sent under starvation must
+   reach the CCA flagged [limited], or their samples poison the pacing
+   rate.  Two full-soak wedges pin this (both exact population specs,
+   incomplete pre-fix):
+   - the handshake tail is amplification- and app-limited, and its tiny
+     RTT-spaced packets read as a few kbit/s — the response flight then
+     paces out slower than the idle timeout (the amp/app-limited taint);
+   - a PTO retransmission squeezed through the window a loss declaration
+     reopened is acked across the stall and reads as a few hundred bit/s —
+     the recovery burst is then committed with ~60 s of pacing debt and
+     the idle timeout reaps the connection (the PTO-trickle taint). *)
+let test_bbr_starvation_rate_taint () =
+  let base =
+    {
+      Soak.seed = 0;
+      transport = Soak.Quic;
+      cca = "bbr";
+      request = 0;
+      response = 0;
+      delay = 0.0;
+      loss = 0.0;
+      client = Config.default;
+      server = Config.default;
+      slow_reader = false;
+      read_chunk = 2_048;
+      read_interval = 0.02;
+      read_stall = 0.0;
+      pacer_jump = None;
+      flight = 0;
+      blackhole = None;
+      horizon = 120.0;
+    }
+  in
+  (* Amp-limited handshake under i.i.d. loss (full-soak shard 16). *)
+  let handshake_wedge =
+    {
+      base with
+      Soak.seed = 516142921;
+      request = 199;
+      response = 21_111;
+      delay = 0.035329522343922101;
+      loss = 0.014758205564616199;
+      flight = 4_595;
+    }
+  in
+  (* PTO trickle after a mid-response blackhole (full-soak shard 63). *)
+  let pto_trickle_wedge =
+    {
+      base with
+      Soak.seed = 102035986;
+      request = 1_343;
+      response = 28_662;
+      delay = 0.034306948908030696;
+      flight = 4_139;
+      blackhole = Some (0.42995924854368101, 0.13384523613234955);
+    }
+  in
+  List.iter
+    (fun (name, spec) ->
+      let r, violations = Soak.run_flow spec in
+      Alcotest.(check bool) (name ^ " completes") true r.Soak.completed;
+      Alcotest.(check (list (pair string int))) (name ^ " violation-free") [] violations)
+    [ ("handshake wedge", handshake_wedge); ("pto trickle wedge", pto_trickle_wedge) ]
+
+(* The QUIC rtx oracle: on a drop-free (netem-only loss) drained run the
+   endpoints' rtx_datagrams counters and the capture's rtx marks must
+   agree — the capture taps upstream of the impairment, so netem loss does
+   not desynchronize them. *)
+let test_rtx_oracle_agreement () =
+  let lossy = Netem.spec { Netem.default with Netem.loss = Netem.Iid 0.03; seed = 9 } in
+  let w = make_world ~queue_capacity:10_000_000 ~client_netem:lossy () in
+  Connection.on_established w.conn (fun () ->
+      Endpoint.send_stream (Connection.server w.conn) ~stream:4 ~fin:true 400_000);
+  Connection.open_ w.conn;
+  Engine.run ~until:120.0 w.engine;
+  Alcotest.(check int) "full delivery" 400_000 (got w.client_rx 4);
+  Alcotest.(check int) "no queue drops" 0 (Path.drops w.path);
+  Alcotest.(check bool) "capture saw retransmissions" true
+    (Capture.rtx_count (Path.capture w.path) > 0);
+  let monitor = Monitor.create ~mode:Monitor.Collect w.engine in
+  Monitor.check_quic_rtx_oracle monitor
+    ~capture:(Path.capture w.path)
+    ~endpoints:[ Connection.client w.conn; Connection.server w.conn ]
+    ~drops:(Path.drops w.path) ~drained:true;
+  Alcotest.(check int) "oracle agrees" 0 (List.length (Monitor.violations monitor))
+
+(* The mixed TCP+QUIC smoke battery is jobs-invariant, shard for shard. *)
+let test_mixed_soak_jobs_parity () =
+  let config = { Soak.smoke_config with Soak.transport = `Mixed } in
+  let seq = Soak.run config in
+  let par = Stob_par.Pool.with_pool ~domains:4 (fun pool -> Soak.run ~pool config) in
+  Alcotest.(check bool) "mixed soak identical under --jobs 1 and --jobs 4" true
+    (seq.Soak.reports = par.Soak.reports)
+
 let prop_quic_delivery_integrity =
   QCheck.Test.make ~name:"quic delivers exactly the stream bytes under any loss" ~count:20
     QCheck.(
@@ -203,6 +416,47 @@ let prop_quic_delivery_integrity =
       Connection.open_ w.conn;
       Engine.run ~until:90.0 w.engine;
       got w.client_rx 4 = response)
+
+(* Netem variant of the delivery-integrity property: i.i.d. loss is the
+   easy case — reordering (held frames) and duplication exercise the
+   packet-threshold and time-threshold detectors against false positives
+   (spurious retransmissions must not corrupt the stream) as well as
+   misses. *)
+let prop_quic_delivery_under_netem =
+  QCheck.Test.make
+    ~name:"quic delivers exactly the stream bytes under netem reorder + duplication" ~count:20
+    QCheck.(
+      pair
+        (quad (int_range 10_000 200_000) (int_range 0 15) (int_range 0 15) (int_range 0 5))
+        (pair small_nat small_nat))
+    (fun ((response, reorder_pct, dup_pct, loss_pct), (seed_a, seed_b)) ->
+      let impair seed =
+        Netem.spec
+          {
+            Netem.default with
+            Netem.loss = (if loss_pct = 0 then Netem.No_loss else Netem.Iid (float_of_int loss_pct /. 100.0));
+            reorder_prob = float_of_int reorder_pct /. 100.0;
+            reorder_depth = 3;
+            reorder_hold = 0.05;
+            duplicate_prob = float_of_int dup_pct /. 100.0;
+            seed;
+          }
+      in
+      let w =
+        make_world ~queue_capacity:10_000_000
+          ~client_netem:(impair (1 + seed_a))
+          ~server_netem:(impair (1_000_003 + seed_b))
+          ()
+      in
+      Connection.on_established w.conn (fun () ->
+          Endpoint.send_stream (Connection.client w.conn) ~stream:4 ~fin:true 600);
+      Endpoint.set_on_stream_fin (Connection.server w.conn) (fun ~stream ->
+          incr w.server_fins;
+          if stream = 4 then
+            Endpoint.send_stream (Connection.server w.conn) ~stream:4 ~fin:true response);
+      Connection.open_ w.conn;
+      Engine.run ~until:90.0 w.engine;
+      got w.server_rx 4 = 600 && got w.client_rx 4 = response)
 
 let suite =
   [
@@ -224,5 +478,20 @@ let suite =
         Alcotest.test_case "padding datagram" `Quick test_padding_datagram;
         Alcotest.test_case "flight bytes visible" `Quick test_flight_bytes_visible;
         QCheck_alcotest.to_alcotest prop_quic_delivery_integrity;
+      ] );
+    ( "quic.robustness",
+      [
+        Alcotest.test_case "idle timeout closes and quiesces" `Quick
+          test_idle_timeout_close_quiesce;
+        Alcotest.test_case "amplification cap" `Quick test_amplification_cap;
+        Alcotest.test_case "amplification unblock (no deadlock)" `Quick
+          test_amplification_unblock_no_deadlock;
+        Alcotest.test_case "time-threshold loss detection" `Quick test_time_threshold_loss;
+        Alcotest.test_case "persistent congestion under blackhole" `Quick
+          test_persistent_congestion_blackhole;
+        Alcotest.test_case "bbr starvation rate taint" `Quick test_bbr_starvation_rate_taint;
+        Alcotest.test_case "rtx oracle agreement" `Quick test_rtx_oracle_agreement;
+        Alcotest.test_case "mixed soak jobs parity" `Quick test_mixed_soak_jobs_parity;
+        QCheck_alcotest.to_alcotest prop_quic_delivery_under_netem;
       ] );
   ]

@@ -1033,6 +1033,7 @@ let test_slow_reader_zero_window_flow () =
   let spec =
     {
       Soak.seed = 7;
+      transport = Soak.Tcp;
       cca = "reno";
       request = 400;
       response = 60_000;
@@ -1045,6 +1046,8 @@ let test_slow_reader_zero_window_flow () =
       read_interval = 0.02;
       read_stall = 1.5;
       pacer_jump = None;
+      flight = 0;
+      blackhole = None;
       horizon = 120.0;
     }
   in
@@ -1069,6 +1072,7 @@ let prop_window_advertisement =
       let spec =
         {
           Soak.seed;
+          transport = Soak.Tcp;
           cca = "reno";
           request = 300;
           response = 40_000;
@@ -1081,6 +1085,8 @@ let prop_window_advertisement =
           read_interval = float_of_int interval_ms /. 1_000.0;
           read_stall = float_of_int stall_ds /. 10.0;
           pacer_jump = None;
+          flight = 0;
+          blackhole = None;
           horizon = 120.0;
         }
       in
