@@ -1186,6 +1186,69 @@ let run_resume_smoke () =
   if !failed then exit 1;
   print_endline "resume-smoke: all resume/retry gates passed"
 
+(* ------------------------------------------------------------------ *)
+(* Durable-store chaos: crash the sweep at every syscall boundary and
+   resume bit-identically; short writes, transient EIO, persistent-ENOSPC
+   degradation, compaction with replay-digest agreement, orphan-tmp
+   reclamation.  The smoke variant rides `dune runtest`; the full battery
+   (more cells, more seeds, plus a crash-enumerated real Fig 3 sweep) is
+   `dune build @store-chaos`, which also writes BENCH_store.json. *)
+
+let run_storechaos ~smoke ~chaos_seed () =
+  hr
+    (if smoke then "Store chaos (smoke): crash-point fuzz over the durable store"
+     else "Store chaos: full crash-point battery over the durable store");
+  let module Sc = Stob_check.Store_chaos in
+  let r = Sc.run ~smoke ~seed:chaos_seed () in
+  Sc.print_report r;
+  if not smoke then begin
+    let compaction_json =
+      match r.Sc.compaction with
+      | Some c ->
+          Printf.sprintf
+            "{ \"frames_before\": %d, \"frames_after\": %d, \"bytes_before\": %d, \
+             \"bytes_after\": %d, \"ratio\": %.3f }"
+            c.Stob_store.Store.frames_before c.Stob_store.Store.frames_after c.Stob_store.Store.bytes_before
+            c.Stob_store.Store.bytes_after
+            (float_of_int c.Stob_store.Store.bytes_after
+            /. float_of_int (max 1 c.Stob_store.Store.bytes_before))
+      | None -> "null"
+    in
+    let json =
+      Printf.sprintf
+        "{\n\
+        \  \"boundaries_fuzzed\": { \"sweep\": %d, \"checkpoint\": %d },\n\
+        \  \"crash_points_passed\": { \"sweep\": %d, \"checkpoint\": %d },\n\
+        \  \"frames_scrubbed\": %d,\n\
+        \  \"torn_tails_seen\": %d,\n\
+        \  \"orphans_reclaimed\": %d,\n\
+        \  \"short_writes\": { \"runs\": %d, \"splits\": %d },\n\
+        \  \"transient\": { \"runs\": %d, \"retried\": %d },\n\
+        \  \"enospc\": { \"degraded\": %b, \"dropped\": %d, \"monitor_edge\": %b },\n\
+        \  \"compaction\": %s,\n\
+        \  \"failures\": %d\n\
+         }\n"
+        r.Sc.sweep_boundaries r.Sc.ckpt_boundaries r.Sc.sweep_crashes_passed
+        r.Sc.ckpt_crashes_passed r.Sc.frames_scrubbed r.Sc.torn_tails_seen
+        r.Sc.orphans_reclaimed r.Sc.short_write_runs r.Sc.short_writes_injected
+        r.Sc.transient_runs r.Sc.transient_retried r.Sc.enospc_degraded r.Sc.enospc_dropped
+        r.Sc.degraded_edge_fired compaction_json
+        (List.length r.Sc.failures)
+    in
+    Stob_store.Atomic_file.write "BENCH_store.json" json;
+    Printf.printf "  wrote BENCH_store.json\n%!"
+  end;
+  if
+    r.Sc.failures <> []
+    || r.Sc.sweep_crashes_passed < r.Sc.sweep_boundaries
+    || r.Sc.ckpt_crashes_passed < r.Sc.ckpt_boundaries
+  then begin
+    Printf.printf "storechaos: FAILED (%d failures)\n" (List.length r.Sc.failures);
+    exit 1
+  end;
+  Printf.printf "storechaos: all %d sweep + %d checkpoint crash points resumed bit-identically\n"
+    r.Sc.sweep_boundaries r.Sc.ckpt_boundaries
+
 let all ?pool ~quick () =
   run_fig1 ();
   run_fig2 ();
@@ -1336,9 +1399,10 @@ let () =
           run_netem ?pool ~loss:!loss ~reorder:!reorder ~netem_seed:!netem_seed ())
   | [ "chaos" ] ->
       with_jobs (fun pool -> run_chaos ?pool ~smoke:!smoke ~chaos_seed:!chaos_seed ())
+  | [ "storechaos" ] -> run_storechaos ~smoke:!smoke ~chaos_seed:!chaos_seed ()
   | _ ->
       prerr_endline
         "usage: main.exe [--jobs N] [--loss F] [--reorder] [--netem-seed N] [--chaos-seed N] \
          [--smoke] [--transport tcp|quic|mixed] [--state-dir DIR] [--retries N] [--strict] \
-         [quick|smoke|resume-smoke|table1|table2|table2-quick|fig1|fig2|fig3|fig3-quick|ablation-stack|ablation-cca|ablation-quic|openworld|cca-id|httpos|importance|early-curve|dl|dl-population|dfnet|pareto|micro|forest|simperf|soak|population-soak|netem|chaos]";
+         [quick|smoke|resume-smoke|table1|table2|table2-quick|fig1|fig2|fig3|fig3-quick|ablation-stack|ablation-cca|ablation-quic|openworld|cca-id|httpos|importance|early-curve|dl|dl-population|dfnet|pareto|micro|forest|simperf|soak|population-soak|netem|chaos|storechaos]";
       exit 2

@@ -13,6 +13,7 @@
 open Cmdliner
 open Stob_experiments
 module Store = Stob_store.Store
+module Journal = Stob_store.Journal
 module Sv = Stob_store.Supervisor
 
 (* --- exit codes -------------------------------------------------------- *)
@@ -25,8 +26,10 @@ let exits =
       "on a failed evaluation gate: a netem cell failed to converge, or a chaos cell crashed, \
        livelocked, left its page load incomplete, or (no-fault cells) reported an invariant \
        violation.  Also: a sweep run with $(b,--strict) that recorded poisoned cells, \
-       $(b,gen-dataset) refusing to overwrite an existing export, and $(b,resume)/$(b,status) on \
-       a state directory that is empty or belongs to a different sweep."
+       $(b,gen-dataset) refusing to overwrite an existing export, \
+       $(b,resume)/$(b,status)/$(b,scrub)/$(b,compact) on a state directory that is missing, \
+       empty, or not a stob sweep (foreign journal magic), and $(b,scrub) without \
+       $(b,--repair) finding a damaged journal tail."
   :: Cmd.Exit.defaults
 
 let cmd_info name ~doc = Cmd.info name ~doc ~exits
@@ -112,7 +115,16 @@ let with_store state_dir f =
   | None -> f None
   | Some dir ->
       let store = Store.open_ dir in
-      Fun.protect ~finally:(fun () -> Store.close store) (fun () -> f (Some store))
+      Fun.protect
+        ~finally:(fun () ->
+          (* Completion over durability: a sweep that lost its journal
+             mid-run (disk full) still finishes, but the operator must
+             hear about it — the degraded store report goes to stderr with
+             the rest of the progress chatter. *)
+          (if Store.degraded store <> None then
+             Format.eprintf "@[store: %a@]@." Store.pp_report (Store.report store));
+          Store.close store)
+        (fun () -> f (Some store))
 
 (* The tally goes to stderr with the rest of the progress chatter: stdout
    stays pure results, so a resumed run's stdout is byte-identical to an
@@ -577,8 +589,22 @@ let resume_cmd =
 
 let status state_dir =
   match Store.peek state_dir with
+  | exception Journal.Corrupt msg ->
+      Printf.eprintf
+        "stobctl status: %s is not a stob sweep state directory (%s).\n\
+         If it should be one, the journal was overwritten by something else; remove the \
+         directory and re-run the sweep.\n"
+        state_dir msg;
+      exit 1
   | None, _ ->
-      Printf.printf "%s: no sweep recorded\n" state_dir;
+      if not (Sys.file_exists state_dir) then
+        Printf.eprintf
+          "stobctl status: %s: no such directory (state directories are created by running a \
+           sweep with --state-dir)\n"
+          state_dir
+      else
+        Printf.eprintf "stobctl status: %s records no sweep (run one with --state-dir first)\n"
+          state_dir;
       exit 1
   | Some m, entries ->
       Printf.printf "sweep: %s (%d cells expected)\n" m.Store.experiment m.Store.total;
@@ -595,7 +621,12 @@ let status state_dir =
       in
       Printf.printf "cells: %d done, %d poisoned, %d pending\n" done_ (List.length poisoned)
         (max 0 (m.Store.total - List.length entries));
-      List.iter (fun (label, e) -> Printf.printf "  poisoned %s: %s\n" label e) poisoned
+      List.iter (fun (label, e) -> Printf.printf "  poisoned %s: %s\n" label e) poisoned;
+      let s = Journal.verify (Store.journal_file state_dir) in
+      Printf.printf "journal: %d frames, %d bytes%s\n" s.Journal.scrub_frames s.Journal.scrub_bytes
+        (if s.Journal.torn_bytes > 0 then
+           Printf.sprintf " (%d-byte torn tail — see stobctl scrub)" s.Journal.torn_bytes
+         else "")
 
 let status_cmd =
   let state_dir =
@@ -607,9 +638,108 @@ let status_cmd =
   Cmd.v
     (cmd_info "status"
        ~doc:
-         "Report a sweep state directory: its manifest and done/pending/poisoned cell counts.  \
-          Read-only — safe to run while the sweep is still executing.")
+         "Report a sweep state directory: its manifest, done/pending/poisoned cell counts, and \
+          journal size/frame counts.  Read-only — safe to run while the sweep is still \
+          executing.")
     Term.(const status $ state_dir)
+
+(* --- scrub / compact --------------------------------------------------- *)
+
+let scrub state_dir repair =
+  let file = Store.journal_file state_dir in
+  match Journal.verify file with
+  | exception Journal.Corrupt msg ->
+      Printf.eprintf "stobctl scrub: %s is not a stob journal (%s)\n" file msg;
+      exit 1
+  | { Journal.exists = false; _ } ->
+      Printf.eprintf "stobctl scrub: %s: no journal (is %s a sweep state directory?)\n" file
+        state_dir;
+      exit 1
+  | s ->
+      Printf.printf "journal: %s\n" file;
+      Printf.printf "frames:  %d valid (%d of %d bytes)\n" s.Journal.scrub_frames
+        s.Journal.valid_bytes s.Journal.scrub_bytes;
+      if s.Journal.torn_bytes = 0 then Printf.printf "tail:    clean\n"
+      else begin
+        Printf.printf "tail:    %d damaged bytes (%s)\n" s.Journal.torn_bytes
+          (if s.Journal.crc_mismatch then "CRC mismatch: bytes flipped in place"
+           else "write cut short by a crash");
+        if repair then begin
+          (* Store.open_ applies the recovery rule (truncate the torn
+             tail, resume at the cut) and sweeps orphan tmps; we only
+             borrow it for its side effects. *)
+          let store = Store.open_ state_dir in
+          let orphans = Store.orphans_swept store in
+          Store.close store;
+          let s' = Journal.verify file in
+          Printf.printf "repair:  truncated to %d valid frames (%d bytes); %d orphan tmp file%s \
+                         swept\n"
+            s'.Journal.scrub_frames s'.Journal.valid_bytes orphans
+            (if orphans = 1 then "" else "s")
+        end
+        else begin
+          Printf.printf "run with --repair to truncate the damaged tail and resume from the \
+                         valid prefix\n";
+          exit 1
+        end
+      end
+
+let scrub_cmd =
+  let state_dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR" ~doc:"State directory whose journal to scrub.")
+  in
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "Truncate a damaged tail back to the last valid frame and sweep orphan $(b,*.tmp) \
+             files, instead of just reporting.  Identical to what the next sweep's open would \
+             do; records past the cut are recomputed on resume.")
+  in
+  Cmd.v
+    (cmd_info "scrub"
+       ~doc:
+         "CRC-walk a sweep journal and report its health: valid frames, total bytes, and any \
+          damaged tail (torn write vs in-place corruption).  Read-only without $(b,--repair); \
+          exits non-zero if damage is found and left in place.")
+    Term.(const scrub $ state_dir $ repair)
+
+let compact state_dir =
+  if not (Sys.file_exists (Store.journal_file state_dir)) then begin
+    Printf.eprintf "stobctl compact: %s: no journal (is it a sweep state directory?)\n" state_dir;
+    exit 1
+  end;
+  match Store.compact state_dir with
+  | exception Journal.Corrupt msg ->
+      Printf.eprintf "stobctl compact: %s\n" msg;
+      exit 1
+  | exception Failure msg ->
+      Printf.eprintf "stobctl compact: %s\n" msg;
+      exit 1
+  | c ->
+      Printf.printf "compacted %s: %d -> %d frames, %d -> %d bytes (replay digest agrees)\n"
+        state_dir c.Store.frames_before c.Store.frames_after c.Store.bytes_before
+        c.Store.bytes_after
+
+let compact_cmd =
+  let state_dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR" ~doc:"State directory to compact.")
+  in
+  Cmd.v
+    (cmd_info "compact"
+       ~doc:
+         "Atomically rewrite a sweep journal down to the manifest plus the latest record per \
+          cell (tmp + verify + rename).  The compacted journal is proven to replay to exactly \
+          the pre-compaction state before it replaces the original; resume behaviour is \
+          unchanged, only superseded frames are dropped.")
+    Term.(const compact $ state_dir)
 
 let cca_id flows trees =
   Cca_id.print (Cca_id.run ~flows_per_cca:flows ~trees ())
@@ -979,7 +1109,8 @@ let main_cmd =
     [
       gen_dataset_cmd; attack_cmd; load_cmd; policies_cmd; table1_cmd; table2_cmd; fig3_cmd;
       arch_cmd; ablation_stack_cmd; ablation_cca_cmd; ablation_quic_cmd; openworld_cmd;
-      pareto_cmd; dl_cmd; resume_cmd; status_cmd; cca_id_cmd; httpos_cmd; importance_cmd;
+      pareto_cmd; dl_cmd; resume_cmd; status_cmd; scrub_cmd; compact_cmd; cca_id_cmd;
+      httpos_cmd; importance_cmd;
       netem_cmd; chaos_cmd; population_cmd; soak_cmd;
     ]
 

@@ -141,6 +141,18 @@ let watch_progress t ?(stall = 1.0) ~name ~pending ~activity () =
       was_pending := pending ();
       detail)
 
+(* Durability watch: edge-triggers when a result store drops to
+   journaling-off "completion over durability" mode (a journal error past
+   the bounded retry budget, e.g. persistent ENOSPC).  The sweep keeps
+   running to its artifact; the violation marks that artifact as
+   non-resumable-without-recompute — EXPERIMENTS.md excludes such runs
+   from parity claims. *)
+let watch_store t ~name store =
+  register t ~name:"store-durability-degraded" (fun ~now:_ ->
+      match Stob_store.Store.degraded store with
+      | Some reason -> Some (name ^ ": " ^ reason)
+      | None -> None)
+
 (* ------------------------------------------------------------------ *)
 (* Endpoint invariants, checked at the hook boundary.                   *)
 

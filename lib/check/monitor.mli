@@ -59,6 +59,13 @@
     - [quic-quiesce] — a closed QUIC endpoint holds no armed idle timer
       (the close-time quiesce actually ran).
     - [quic-cwnd-bounds] — cwnd at least one byte.
+    - [store-durability-degraded] — a result store dropped to
+      journaling-off "completion over durability" mode after a journal
+      write failed past its bounded retry budget (persistent
+      ENOSPC/EIO).  The sweep still completes; its artifacts are not
+      durable and are excluded from parity claims.
+    - [store-replay-agreement] — see {!check_store_canary}; also stated
+      across compactions by [Stob_store.Store.checkpoint].
     - [engine-livelock] is reported by the chaos harness when
       {!Stob_sim.Engine.Livelock} fires; the engine cannot depend on this
       library, so it raises its own exception and the harness translates. *)
@@ -126,6 +133,13 @@ val watch_progress :
     stack's departure always equals [now] (the endpoint waits out its own
     pacing before consulting the hook), so a parked pacing clock manifests
     as silence, not as a visible bad departure. *)
+
+val watch_store : t -> name:string -> Stob_store.Store.t -> unit
+(** Register [store-durability-degraded] over the given result store:
+    edge-triggers once when {!Stob_store.Store.degraded} becomes [Some]
+    (journaling off after the retry budget, see the store's module doc).
+    Pair with {!check_now} at shard boundaries for sweeps that run
+    without an engine probe. *)
 
 (** {1 Endpoint observation} *)
 

@@ -604,7 +604,10 @@ let run ?(pool = Pool.sequential) ?state_dir ?(retries = 0) ?on_shard config =
         (match (store, cached.(i)) with
         | Some s, None ->
             Store.record s ~key:(shard_key i) ~label:(shard_key i)
-              (Store.Done (Marshal.to_string r []))
+              (Store.Done (Marshal.to_string r []));
+            (* Shard boundary: size-bounded auto-compaction so a long
+               soak's journal stops growing monotonically. *)
+            ignore (Store.maybe_checkpoint s)
         | Some _, Some _ -> incr cached_shards
         | None, _ -> ());
         Gc.full_major ();

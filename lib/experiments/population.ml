@@ -317,9 +317,13 @@ let generate ?(pool = Pool.sequential) ?on_shard c ~state_dir =
       ~on_done:(fun i (fresh, stats) ->
         (* Index order, under the pool's lock: the run journal's bytes are
            jobs-invariant, and [on_shard] observes a sequential schedule. *)
-        if fresh then
+        if fresh then begin
           Store.record store ~key:(shard_key c i) ~label:(shard_label i)
             (Store.Done (Marshal.to_string stats []));
+          (* Shard boundary: size-bounded auto-compaction so the run
+             journal stops growing monotonically across huge corpora. *)
+          ignore (Store.maybe_checkpoint store)
+        end;
         Option.iter (fun f -> f stats) on_shard)
       (fun i ->
         match cached.(i) with

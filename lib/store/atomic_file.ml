@@ -3,18 +3,28 @@
    pid keeps concurrent processes apart. *)
 let counter = Atomic.make 0
 
-let with_tmp path k =
+let with_tmp vfs path emit =
   let tmp =
     Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) (Atomic.fetch_and_add counter 1)
   in
-  let oc = open_out_bin tmp in
-  (match k oc with
-  | () -> close_out oc
+  let fd = vfs.Vfs.open_trunc tmp in
+  (match emit (fun s -> Vfs.write_all vfs fd (Bytes.of_string s)) with
+  | () ->
+      vfs.Vfs.flush fd;
+      vfs.Vfs.close fd
   | exception e ->
-      close_out_noerr oc;
-      (try Sys.remove tmp with Sys_error _ -> ());
+      (* Narrow catches only: a fault plane's simulated process death
+         must not be swallowed by cleanup — the orphan tmp it strands is
+         exactly what Store.open_'s sweep exists to collect. *)
+      (try vfs.Vfs.close fd with Unix.Unix_error _ | Sys_error _ -> ());
+      (try vfs.Vfs.remove tmp with Unix.Unix_error _ | Sys_error _ -> ());
       raise e);
-  Sys.rename tmp path
+  vfs.Vfs.rename tmp path
 
-let write path contents = with_tmp path (fun oc -> output_string oc contents)
-let write_lines path emit = with_tmp path emit
+let write ?(vfs = Vfs.unix) path contents = with_tmp vfs path (fun put -> put contents)
+
+let write_lines ?(vfs = Vfs.unix) path emit =
+  with_tmp vfs path (fun put ->
+      let b = Buffer.create 256 in
+      emit b;
+      put (Buffer.contents b))

@@ -11,7 +11,18 @@
 
     Poisoned cells are cached like results: a resume reports them again
     rather than silently retrying — deterministic failures stay failed
-    until the operator removes the state directory. *)
+    until the operator removes the state directory.
+
+    {b Durability degradation.}  Journal writes ride a bounded
+    retry-with-backoff envelope ({!Journal.retry}); when an error
+    persists past it (disk full, dying media), the store switches to
+    {e completion over durability}: the in-memory index keeps the sweep
+    running to its final artifact, newly finished cells are simply no
+    longer journaled, and the condition is surfaced through {!degraded},
+    {!report} and the [store-durability-degraded] monitor edge rather
+    than by aborting hours of compute.  The journal on disk remains a
+    valid replayable prefix; a later resume recomputes the dropped
+    cells. *)
 
 type status =
   | Done of string  (** Serialized cell result. *)
@@ -23,10 +34,13 @@ type manifest = { experiment : string; fields : (string * string) list; total : 
 
 type t
 
-val open_ : string -> t
+val open_ : ?vfs:Vfs.t -> ?retry:Journal.retry -> string -> t
 (** Open (creating the directory and journal as needed) and replay.  Torn
     journal tails are truncated; raises {!Journal.Corrupt} if the file is
-    not a journal. *)
+    not a journal.  Orphan [*.tmp] files stranded by crashed atomic
+    writes or compactions are swept away first ({!orphans_swept}).
+    [vfs]/[retry] select the syscall plane and the transient-error retry
+    budget for every write this handle performs. *)
 
 val close : t -> unit
 val dir : t -> string
@@ -47,7 +61,9 @@ val find : t -> string -> status option
 
 val record : t -> key:string -> label:string -> status -> unit
 (** Append one cell record (journal write + in-memory index).  Thread-safe;
-    callers serialize ordering via {!Stob_par.Pool.map}[ ~on_done]. *)
+    callers serialize ordering via {!Stob_par.Pool.map}[ ~on_done].  Never
+    raises on I/O trouble: persistent journal errors degrade the store
+    (see module doc) instead of losing the in-memory result. *)
 
 val entries : t -> (string * string * status) list
 (** All cell records as [(key, label, status)], in first-recorded order. *)
@@ -60,3 +76,71 @@ val peek : string -> manifest option * (string * string * status) list
     [(None, [])]. *)
 
 val counts : t -> done_:int ref -> poisoned:int ref -> unit
+
+(** {1 Durability report} *)
+
+val degraded : t -> string option
+(** Why journaling is off, if it is ([None] = fully durable). *)
+
+val orphans_swept : t -> int
+(** Orphan [*.tmp] files removed by {!open_}'s sweep. *)
+
+type report = {
+  journal_bytes : int;  (** Journal size on disk. *)
+  journal_frames : int;  (** Frames replayed + appended through this handle. *)
+  stale_frames : int;  (** Frames superseded by a newer record for the same key. *)
+  r_orphans_swept : int;
+  retried : int;  (** Transient syscall errors absorbed by retries. *)
+  dropped : int;  (** Records not journaled since degrading. *)
+  degraded_reason : string option;
+}
+
+val report : t -> report
+val pp_report : Format.formatter -> report -> unit
+(** One line of durability counters, plus a DEGRADED line when journaling
+    is off. *)
+
+(** {1 Checkpoint / compaction}
+
+    A long sweep's journal accumulates superseded frames (a re-recorded
+    key keeps its latest status on replay).  A {e checkpoint} atomically
+    rewrites the journal down to the manifest plus the latest record per
+    cell digest — tmp + verify + rename, via {!Journal.rewrite} — and
+    proves the {e replay-digest-agreement} invariant: the compacted
+    journal replays to exactly the pre-compaction state, or the rewrite
+    is refused. *)
+
+type compaction = {
+  frames_before : int;
+  frames_after : int;
+  bytes_before : int;
+  bytes_after : int;
+}
+
+val checkpoint : t -> compaction
+(** Compact now.  Raises [Failure] on a degraded store (there is nothing
+    durable to compact) or if the replay-digest agreement fails. *)
+
+val maybe_checkpoint : ?threshold_bytes:int -> t -> compaction option
+(** Size-bounded auto-compaction for shard boundaries (Soak/Population):
+    checkpoints only when the journal exceeds [threshold_bytes]
+    (default {!auto_checkpoint_bytes}) {e and} at least a quarter of its
+    frames are stale — so journals stop growing monotonically without
+    long sweeps re-copying their history at every boundary. *)
+
+val auto_checkpoint_bytes : int
+(** Default [maybe_checkpoint] threshold (1 MiB). *)
+
+val compact : ?vfs:Vfs.t -> ?retry:Journal.retry -> string -> compaction
+(** Offline compaction of a state directory ([stobctl compact]): open,
+    checkpoint, close. *)
+
+val replay_digest : string -> string
+(** Digest of a state directory's replayed state (manifest + entries in
+    first-recorded order) — read-only, via {!peek}.  Two directories with
+    equal digests resume identically; the chaos battery and [stobctl
+    compact] use it to state the replay-agreement invariant across
+    compactions and crashes. *)
+
+val digest : t -> string
+(** {!replay_digest} of this handle's in-memory state. *)

@@ -11,7 +11,15 @@
     [~attempt] index the cell may fold into its own derived seeds.  A cell
     that exhausts its attempts is recorded as {e poisoned} with the final
     exception; the rest of the sweep completes and the report lists the
-    failures instead of the whole run aborting. *)
+    failures instead of the whole run aborting.
+
+    {b Durability degradation.}  The store applies the same
+    completion-over-durability policy to itself: if journaling a finished
+    cell fails past the bounded retry budget (persistent ENOSPC), the
+    supervisor keeps running on the store's in-memory index and the
+    condition is surfaced through {!Store.report} /
+    [Monitor.watch_store]'s [store-durability-degraded] edge — drivers
+    print the store report after the sweep instead of losing the run. *)
 
 type 'a cell = {
   label : string;  (** Human-readable name, for reports and the journal. *)

@@ -1,0 +1,44 @@
+type file = Unix.file_descr
+
+type t = {
+  open_append : string -> file;
+  open_trunc : string -> file;
+  write : file -> bytes -> pos:int -> len:int -> int;
+  flush : file -> unit;
+  close : file -> unit;
+  rename : string -> string -> unit;
+  truncate : string -> int -> unit;
+  file_size : string -> int option;
+  remove : string -> unit;
+}
+
+let unix =
+  {
+    open_append =
+      (fun path -> Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644);
+    open_trunc =
+      (fun path -> Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644);
+    write = (fun fd b ~pos ~len -> Unix.write fd b pos len);
+    (* Unix.write goes straight to the descriptor — there is no userspace
+       buffer to drain — but the boundary stays so fault planes can treat
+       "frame committed" as its own syscall. *)
+    flush = (fun _ -> ());
+    close = Unix.close;
+    rename = Unix.rename;
+    truncate = Unix.truncate;
+    file_size =
+      (fun path ->
+        match Unix.stat path with
+        | st -> Some st.Unix.st_size
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> None);
+    remove = (fun path -> Unix.unlink path);
+  }
+
+let write_all t fd b =
+  let len = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < len do
+    let n = t.write fd b ~pos:!pos ~len:(len - !pos) in
+    if n <= 0 then raise (Unix.Unix_error (Unix.EIO, "write", "no progress"));
+    pos := !pos + n
+  done

@@ -1,0 +1,49 @@
+(** Syscall shim for the durable-store write path.
+
+    Every write-side syscall the store issues — journal appends, torn-tail
+    truncation, atomic tmp+rename file replacement, compaction rewrites —
+    goes through one of these records, so tests and the chaos battery can
+    interpose short writes, transient errors and crash-at-boundary faults
+    ({!Io_fault}) without patching any store logic.  {!unix} is the
+    identity plane used in production.
+
+    Read paths (journal replay, {!Store.peek}, {!Journal.verify})
+    deliberately stay on plain [in_channel]s: recovery must work on files
+    produced under any plane, and a reader holds no durability state worth
+    fault-injecting. *)
+
+type file
+(** A writable file handle (a [Unix.file_descr] underneath). *)
+
+type t = {
+  open_append : string -> file;  (** [O_WRONLY|O_CREAT|O_APPEND], 0o644. *)
+  open_trunc : string -> file;
+      (** [O_WRONLY|O_CREAT|O_TRUNC], 0o644 — for tmp files later
+          [rename]d into place. *)
+  write : file -> bytes -> pos:int -> len:int -> int;
+      (** May write fewer than [len] bytes (short write); returns the
+          count actually written.  Callers must loop ({!write_all}). *)
+  flush : file -> unit;
+      (** Commit buffered bytes to the OS.  A no-op for raw descriptors,
+          but kept as an explicit syscall boundary: it is the point where
+          a journal frame becomes durable against the process dying, and
+          the fault plane counts and faults it like any other op. *)
+  close : file -> unit;
+  rename : string -> string -> unit;
+  truncate : string -> int -> unit;
+  file_size : string -> int option;
+      (** [stat].st_size; [None] when the file does not exist.  The one
+          read-only op in the shim — fault planes do not count it as a
+          syscall boundary. *)
+  remove : string -> unit;
+}
+
+val unix : t
+(** The real thing: [Unix.openfile]/[write]/[rename]/[truncate]/[stat]/
+    [unlink]. *)
+
+val write_all : t -> file -> bytes -> unit
+(** Loop over short writes until the whole buffer is written; raises
+    [Unix_error (EIO, _, _)] if a write makes no progress.  No retry on
+    errors — layering bounded retries over individual ops is the
+    journal's job ({!Journal.retry}). *)

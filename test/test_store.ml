@@ -8,6 +8,8 @@ module Journal = Stob_store.Journal
 module Store = Stob_store.Store
 module Cell = Stob_store.Cell
 module Atomic_file = Stob_store.Atomic_file
+module Io_fault = Stob_store.Io_fault
+module Monitor = Stob_check.Monitor
 module Sv = Stob_store.Supervisor
 module Pool = Stob_par.Pool
 module Table2 = Stob_experiments.Table2
@@ -107,6 +109,304 @@ let test_journal_bad_magic () =
   | exception Journal.Corrupt _ -> ()
   | _ -> Alcotest.fail "expected Corrupt on bad magic (read)"
 
+(* Recovery edge cases: files a crash can leave behind that are not the
+   happy torn-mid-payload shape. *)
+let test_journal_open_edges () =
+  let dir = fresh_dir () in
+  (* Zero-length file (crashed before the magic landed): recovered as a
+     fresh journal. *)
+  let p0 = Filename.concat dir "zero.stob" in
+  write_file p0 "";
+  let j, rs = Journal.open_ p0 in
+  Alcotest.(check (list string)) "zero-length file replays empty" [] rs;
+  Journal.append j "a";
+  Journal.close j;
+  Alcotest.(check (list string)) "and accepts appends" [ "a" ] (Journal.read p0);
+  (* Magic-only file: a valid journal with no records, left exactly alone. *)
+  let p1 = Filename.concat dir "magic.stob" in
+  write_file p1 Journal.magic;
+  let size1 = (Unix.stat p1).Unix.st_size in
+  let j, rs = Journal.open_ p1 in
+  Journal.close j;
+  Alcotest.(check (list string)) "magic-only file replays empty" [] rs;
+  Alcotest.(check int) "and is not rewritten" size1 (Unix.stat p1).Unix.st_size;
+  (* A zero-length record is a valid frame, not a torn tail. *)
+  let p2 = Filename.concat dir "empty-rec.stob" in
+  let j, _ = Journal.open_ p2 in
+  Journal.append j "";
+  Journal.append j "after";
+  Journal.close j;
+  Alcotest.(check (list string)) "zero-length record replays" [ ""; "after" ] (Journal.read p2);
+  (* Declared length past end-of-file: torn, truncated back to the valid
+     prefix on open. *)
+  let p3 = Filename.concat dir "pasteof.stob" in
+  let j, _ = Journal.open_ p3 in
+  Journal.append j "keep";
+  Journal.close j;
+  let keep_size = (Unix.stat p3).Unix.st_size in
+  append_bytes p3 "\x00\x00\x01\x00\x00\x00\x00\x00only 12 here";
+  let j, rs = Journal.open_ p3 in
+  Journal.close j;
+  Alcotest.(check (list string)) "length past EOF cuts the replay" [ "keep" ] rs;
+  Alcotest.(check int) "and the tail is truncated" keep_size (Unix.stat p3).Unix.st_size
+
+(* A CRC-valid frame sitting beyond a torn frame must STAY truncated: the
+   journal never resynchronizes past damage, because the cut is the only
+   point where "everything before this is the real prefix" holds. *)
+let test_journal_no_resync_past_tear () =
+  let dir = fresh_dir () in
+  let base = Filename.concat dir "base.stob" in
+  let j, _ = Journal.open_ base in
+  Journal.append j "keep";
+  Journal.close j;
+  let keep_size = (Unix.stat base).Unix.st_size in
+  let two = Filename.concat dir "two.stob" in
+  let j, _ = Journal.open_ two in
+  Journal.append j "keep";
+  Journal.append j "later";
+  Journal.close j;
+  let both = read_file two in
+  (* The byte-exact valid frame for "later", as append wrote it. *)
+  let later_frame = String.sub both keep_size (String.length both - keep_size) in
+  let p = Filename.concat dir "resync.stob" in
+  (* keep | CRC-mismatched 2-byte frame | perfectly valid "later" frame *)
+  write_file p (read_file base ^ "\x00\x00\x00\x02\xde\xad\xbe\xef" ^ "xy" ^ later_frame);
+  Alcotest.(check (list string)) "replay stops at the damaged frame" [ "keep" ]
+    (Journal.read p);
+  let j, rs = Journal.open_ p in
+  Alcotest.(check (list string)) "open recovers only the prefix" [ "keep" ] rs;
+  Alcotest.(check int) "valid frame past the tear is gone" keep_size
+    (Unix.stat p).Unix.st_size;
+  Journal.append j "fresh";
+  Journal.close j;
+  Alcotest.(check (list string)) "appends land at the cut" [ "keep"; "fresh" ]
+    (Journal.read p)
+
+(* --- journal scrub ------------------------------------------------------ *)
+
+let test_journal_verify () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "j.stob" in
+  let s = Journal.verify path in
+  Alcotest.(check bool) "missing file: exists=false" false s.Journal.exists;
+  let j, _ = Journal.open_ path in
+  Journal.append j "alpha";
+  Journal.append j "beta";
+  Journal.close j;
+  let s = Journal.verify path in
+  Alcotest.(check int) "clean: two frames" 2 s.Journal.scrub_frames;
+  Alcotest.(check int) "clean: no torn bytes" 0 s.Journal.torn_bytes;
+  Alcotest.(check int) "clean: valid = total" s.Journal.scrub_bytes s.Journal.valid_bytes;
+  (* Torn write: extra bytes, no CRC lie. *)
+  append_bytes path "\x00\x00\x00\x10\x01\x02\x03";
+  let s = Journal.verify path in
+  Alcotest.(check int) "torn: damage measured" 7 s.Journal.torn_bytes;
+  Alcotest.(check bool) "torn: not a CRC mismatch" false s.Journal.crc_mismatch;
+  Alcotest.(check int) "verify never truncates" s.Journal.scrub_bytes
+    (Unix.stat path).Unix.st_size;
+  (* In-place corruption: same length, flipped payload byte. *)
+  let p2 = Filename.concat dir "flip.stob" in
+  let j, _ = Journal.open_ p2 in
+  Journal.append j "alpha";
+  Journal.close j;
+  let bytes = Bytes.of_string (read_file p2) in
+  Bytes.set bytes (String.length Journal.magic + 8) 'X';
+  write_file p2 (Bytes.to_string bytes);
+  let s = Journal.verify p2 in
+  Alcotest.(check bool) "flip: CRC mismatch flagged" true s.Journal.crc_mismatch;
+  Alcotest.(check int) "flip: no frame survives" 0 s.Journal.scrub_frames
+
+(* --- fault plane: short writes, retries, crash, degradation ------------- *)
+
+let no_backoff attempts = { Journal.attempts; backoff_s = 0. }
+
+let test_short_writes_identical () =
+  let dir = fresh_dir () in
+  let payloads = [ "alpha"; ""; String.make 5_000 'x'; "tail" ] in
+  let write_with vfs path =
+    let j, _ = Journal.open_ ?vfs path in
+    List.iter (Journal.append j) payloads;
+    Journal.close j;
+    read_file path
+  in
+  let clean = write_with None (Filename.concat dir "clean.stob") in
+  let fault =
+    Io_fault.arm { Io_fault.quiet with Io_fault.seed = 11; short_writes = true }
+  in
+  let short = write_with (Some (Io_fault.vfs fault)) (Filename.concat dir "short.stob") in
+  Alcotest.(check bool) "splits were injected" true (Io_fault.injected fault > 0);
+  Alcotest.(check bool) "journal bytes identical under short writes" true (clean = short)
+
+let test_transient_retry () =
+  let path = Filename.concat (fresh_dir ()) "j.stob" in
+  let fault =
+    Io_fault.arm
+      { Io_fault.quiet with Io_fault.seed = 3; transient = Some (Unix.EIO, 3, 2) }
+  in
+  let j, _ = Journal.open_ ~vfs:(Io_fault.vfs fault) ~retry:(no_backoff 4) path in
+  let payloads = List.init 5 (Printf.sprintf "record-%d") in
+  List.iter (Journal.append j) payloads;
+  Alcotest.(check bool) "bursts were absorbed by retries" true (Journal.retried j >= 2);
+  Journal.close j;
+  Alcotest.(check (list string)) "journal heals invisibly" payloads (Journal.read path)
+
+let test_retry_exhaustion () =
+  let path = Filename.concat (fresh_dir ()) "j.stob" in
+  let j, _ = Journal.open_ path in
+  Journal.append j "durable";
+  Journal.close j;
+  (* Reopen on a plane where every write fails and the budget is one
+     attempt: the raw error must surface, not hang in backoff. *)
+  let fault =
+    Io_fault.arm { Io_fault.quiet with Io_fault.fail_from = Some (Unix.EIO, 1) }
+  in
+  let j, rs = Journal.open_ ~vfs:(Io_fault.vfs fault) ~retry:Journal.no_retry path in
+  Alcotest.(check (list string)) "replay unaffected (reads are not faulted)" [ "durable" ] rs;
+  (match Journal.append j "lost" with
+  | exception Unix.Unix_error (Unix.EIO, _, _) -> ()
+  | () -> Alcotest.fail "expected EIO past the retry budget");
+  Journal.close j
+
+let test_crash_semantics () =
+  let path = Filename.concat (fresh_dir ()) "j.stob" in
+  let fault = Io_fault.arm { Io_fault.quiet with Io_fault.seed = 5; crash_at = Some 6 } in
+  (* Open is boundaries 1-3 (open, magic, flush); the crash lands inside a
+     later append.  A generous retry budget must NOT absorb it: Crash is
+     death, not a transient error. *)
+  let j, _ = Journal.open_ ~vfs:(Io_fault.vfs fault) ~retry:(no_backoff 10) path in
+  (match
+     Journal.append j "aa";
+     Journal.append j "bb";
+     Journal.append j "cc"
+   with
+  | exception Io_fault.Crash _ -> ()
+  | () -> Alcotest.fail "expected the plane to crash");
+  Alcotest.(check bool) "plane reports death" true (Io_fault.crashed fault);
+  (match Journal.append j "dd" with
+  | exception Io_fault.Crash _ -> ()
+  | () -> Alcotest.fail "a dead plane must stay dead");
+  (* close is the one post-death no-op, so Fun.protect finalizers unwind
+     without masking the crash. *)
+  Journal.close j;
+  let j, rs = Journal.open_ path in
+  Journal.close j;
+  let expect = [ "aa"; "bb"; "cc" ] in
+  let rec is_prefix xs ys =
+    match (xs, ys) with
+    | [], _ -> true
+    | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+    | _ :: _, [] -> false
+  in
+  Alcotest.(check bool) "recovery yields a clean prefix of the appends" true
+    (is_prefix rs expect)
+
+let test_store_degradation () =
+  let dir = fresh_dir () in
+  (* Manifest journals at boundaries 4-5; every write/flush from 8 on hits
+     ENOSPC, so exactly one cell record lands before journaling degrades. *)
+  let fault =
+    Io_fault.arm { Io_fault.quiet with Io_fault.fail_from = Some (Unix.ENOSPC, 8) }
+  in
+  let engine = Stob_sim.Engine.create () in
+  let monitor = Monitor.create engine in
+  let store = Store.open_ ~vfs:(Io_fault.vfs fault) ~retry:(no_backoff 2) dir in
+  Monitor.watch_store monitor ~name:"test" store;
+  Monitor.check_now monitor ~now:0.0;
+  Alcotest.(check bool) "no edge while healthy" true
+    (List.assoc_opt "store-durability-degraded" (Monitor.counts monitor) = None
+    || List.assoc_opt "store-durability-degraded" (Monitor.counts monitor) = Some 0);
+  Store.set_manifest store ~experiment:"degr" ~fields:[ ("seed", "1") ] ~total:4;
+  for i = 0 to 3 do
+    (* record must never raise: completion over durability. *)
+    Store.record store
+      ~key:(Printf.sprintf "k%d" i)
+      ~label:(Printf.sprintf "c%d" i)
+      (Store.Done (Printf.sprintf "v%d" i))
+  done;
+  Alcotest.(check bool) "store degraded" true (Store.degraded store <> None);
+  let rep = Store.report store in
+  Alcotest.(check int) "one cell was journaled" 2 rep.Store.journal_frames;
+  Alcotest.(check int) "the rest were dropped" 3 rep.Store.dropped;
+  Alcotest.(check int) "in-memory index kept everything" 4 (List.length (Store.entries store));
+  (match Store.find store "k3" with
+  | Some (Store.Done "v3") -> ()
+  | _ -> Alcotest.fail "dropped record must still resolve in memory");
+  (* Edge-triggered: two checks, one violation. *)
+  Monitor.check_now monitor ~now:1.0;
+  Monitor.check_now monitor ~now:2.0;
+  Alcotest.(check (option int)) "degraded edge fired exactly once" (Some 1)
+    (List.assoc_opt "store-durability-degraded" (Monitor.counts monitor));
+  (* Nothing durable to compact on a degraded store. *)
+  (match Store.checkpoint store with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "checkpoint must refuse a degraded store");
+  Store.close store;
+  (* The on-disk journal stayed a valid replayable prefix: a clean resume
+     sees the manifest and the one durable cell. *)
+  let store = Store.open_ dir in
+  Alcotest.(check bool) "reopen is healthy" true (Store.degraded store = None);
+  Alcotest.(check int) "durable prefix replayed" 1 (List.length (Store.entries store));
+  Store.close store
+
+let test_orphan_sweep () =
+  let dir = fresh_dir () in
+  write_file (Filename.concat dir "journal.stob.tmp.12.3") "stranded";
+  write_file (Filename.concat dir "out.json.tmp.4.5") "stranded";
+  write_file (Filename.concat dir "keep.txt") "keep";
+  let store = Store.open_ dir in
+  Alcotest.(check int) "two orphans swept" 2 (Store.orphans_swept store);
+  Alcotest.(check int) "report agrees" 2 (Store.report store).Store.r_orphans_swept;
+  Store.close store;
+  Alcotest.(check (list string)) "tmps gone, the rest intact"
+    [ "journal.stob"; "keep.txt" ]
+    (List.sort compare (Array.to_list (Sys.readdir dir)))
+
+(* --- checkpoint / compaction -------------------------------------------- *)
+
+let test_checkpoint_digest_agreement () =
+  let dir = fresh_dir () in
+  let store = Store.open_ dir in
+  Store.set_manifest store ~experiment:"ckpt" ~fields:[ ("seed", "1") ] ~total:6;
+  for i = 0 to 5 do
+    Store.record store
+      ~key:(Printf.sprintf "k%d" i)
+      ~label:(Printf.sprintf "c%d" i)
+      (Store.Done (Printf.sprintf "v%d" i))
+  done;
+  (* Supersede half the keys: replay keeps the latest record per key. *)
+  List.iter
+    (fun i ->
+      Store.record store
+        ~key:(Printf.sprintf "k%d" i)
+        ~label:(Printf.sprintf "c%d" i)
+        (Store.Done (Printf.sprintf "v%d!" i)))
+    [ 0; 2; 4 ];
+  let rep = Store.report store in
+  Alcotest.(check int) "stale frames counted" 3 rep.Store.stale_frames;
+  let digest_pre = Store.digest store in
+  Alcotest.(check bool) "below-threshold journal is left alone" true
+    (Store.maybe_checkpoint ~threshold_bytes:max_int store = None);
+  let c = Store.checkpoint store in
+  Alcotest.(check int) "superseded frames dropped" (c.Store.frames_before - 3)
+    c.Store.frames_after;
+  Alcotest.(check bool) "journal shrank" true (c.Store.bytes_after < c.Store.bytes_before);
+  Alcotest.(check string) "in-memory digest unchanged" digest_pre (Store.digest store);
+  Alcotest.(check string) "on-disk replay agrees" digest_pre (Store.replay_digest dir);
+  (* Nothing stale anymore: the auto gate refuses even at threshold 1. *)
+  Alcotest.(check bool) "nothing-stale journal is left alone" true
+    (Store.maybe_checkpoint ~threshold_bytes:1 store = None);
+  Store.close store;
+  (* A resume replays the compacted journal to the superseded values. *)
+  let store = Store.open_ dir in
+  (match Store.find store "k0" with
+  | Some (Store.Done "v0!") -> ()
+  | _ -> Alcotest.fail "latest record must win after compaction");
+  (match Store.find store "k1" with
+  | Some (Store.Done "v1") -> ()
+  | _ -> Alcotest.fail "un-superseded record must survive compaction");
+  Alcotest.(check string) "digest stable across reopen" digest_pre (Store.digest store);
+  Store.close store
+
 (* --- cell digests ------------------------------------------------------- *)
 
 let test_digest_stability () =
@@ -144,8 +444,8 @@ let test_atomic_file () =
   Alcotest.(check string) "overwrite replaces atomically" "replaced" (read_file path);
   (* A writer that dies mid-emit must leave the previous contents intact
      and no temp litter behind. *)
-  (match Atomic_file.write_lines path (fun oc ->
-       output_string oc "partial";
+  (match Atomic_file.write_lines path (fun b ->
+       Buffer.add_string b "partial";
        failwith "boom")
    with
   | exception Failure _ -> ()
@@ -443,6 +743,22 @@ let suite =
         Alcotest.test_case "torn tail truncation" `Quick test_journal_torn_tail;
         Alcotest.test_case "crc corruption cuts replay" `Quick test_journal_crc;
         Alcotest.test_case "bad magic refused" `Quick test_journal_bad_magic;
+        Alcotest.test_case "open recovery edge cases" `Quick test_journal_open_edges;
+        Alcotest.test_case "no resync past a tear" `Quick test_journal_no_resync_past_tear;
+        Alcotest.test_case "verify scrub walk" `Quick test_journal_verify;
+      ] );
+    ( "store.fault",
+      [
+        Alcotest.test_case "short writes are invisible" `Quick test_short_writes_identical;
+        Alcotest.test_case "transient errors retried" `Quick test_transient_retry;
+        Alcotest.test_case "persistent error surfaces" `Quick test_retry_exhaustion;
+        Alcotest.test_case "crash is not a retryable error" `Quick test_crash_semantics;
+        Alcotest.test_case "ENOSPC degrades, sweep completes" `Quick test_store_degradation;
+        Alcotest.test_case "orphan tmp sweep" `Quick test_orphan_sweep;
+      ] );
+    ( "store.checkpoint",
+      [
+        Alcotest.test_case "replay digest agreement" `Quick test_checkpoint_digest_agreement;
       ] );
     ( "store.cell",
       [ Alcotest.test_case "digest canonicalization" `Quick test_digest_stability ] );
